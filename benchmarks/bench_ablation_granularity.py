@@ -1,0 +1,61 @@
+"""E13 — ablation: sweeping the partition count (granularity axis).
+
+The paper only samples two granularities (128 and 256 partitions) but
+concludes that "partitioning depends on the number of partitions".  This
+ablation sweeps a wider range of partition counts for a communication-bound
+algorithm (PageRank) and a compute/state-bound one (Triangle Count) on one
+large social analogue, locating where the cost curves bend.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sweep import sweep_granularity
+from repro.metrics.report import format_table
+
+from bench_utils import print_header
+
+PARTITION_COUNTS = [16, 32, 64, 128, 256]
+PARTITIONERS = ["2D", "DC", "RVC"]
+
+
+def test_granularity_sweep(benchmark, all_graphs, bench_scale):
+    """Sweep the partition count for PageRank and Triangle Count on follow-jul."""
+    graph = all_graphs["follow-jul"]
+
+    def run():
+        return {
+            "PR": sweep_granularity(
+                graph, PARTITION_COUNTS, partitioners=PARTITIONERS,
+                algorithm="PR", num_iterations=5,
+            ),
+            "TR": sweep_granularity(
+                graph, PARTITION_COUNTS, partitioners=PARTITIONERS, algorithm="TR",
+            ),
+        }
+
+    sweeps = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header(f"Granularity ablation — follow-jul (scale={bench_scale})")
+    rows = []
+    for algorithm, sweep in sweeps.items():
+        for partitioner in PARTITIONERS:
+            row = {"algorithm": algorithm, "partitioner": partitioner}
+            for count, seconds in sweep.curve(partitioner, "seconds"):
+                row[f"p={count}"] = round(seconds, 4)
+            rows.append(row)
+    print(format_table(rows))
+    for algorithm, sweep in sweeps.items():
+        print(f"Best strategy per granularity ({algorithm}): {sweep.crossover_points()}")
+
+    # PageRank is communication bound: its cost grows with the partition
+    # count once the partitions are plentiful (CommCost keeps growing).
+    pr_curve = dict(sweeps["PR"].curve("2D", "seconds"))
+    assert pr_curve[256] > pr_curve[16]
+    # Triangle Count is much less sensitive to granularity than PageRank.
+    tr_curve = dict(sweeps["TR"].curve("2D", "seconds"))
+    pr_growth = pr_curve[256] / pr_curve[16]
+    tr_growth = tr_curve[256] / tr_curve[16]
+    assert tr_growth < pr_growth
+    # The CommCost metric itself grows monotonically with the partition count.
+    comm_curve = [value for _, value in sweeps["PR"].curve("2D", "comm_cost")]
+    assert comm_curve == sorted(comm_curve)

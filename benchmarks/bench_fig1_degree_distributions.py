@@ -1,0 +1,61 @@
+"""E2 — Figure 1: in-degree and out-degree distributions of every dataset.
+
+The paper plots the degree histograms on log-log axes; this benchmark
+prints, per dataset, a compact summary of the same distribution (max and
+mean degree, plus the counts at a few fixed degree values) and checks the
+fat-tail property the figure illustrates.
+"""
+
+from __future__ import annotations
+
+from repro.core.properties import degree_histogram
+from repro.metrics.report import format_table
+
+from bench_utils import print_header
+
+
+def _distribution_row(name, graph, direction):
+    histogram = degree_histogram(graph, direction=direction)
+    total_vertices = sum(histogram.values())
+    total_degree = sum(degree * count for degree, count in histogram.items())
+    max_degree = max(histogram)
+    mean_degree = total_degree / total_vertices if total_vertices else 0.0
+    return {
+        "dataset": name,
+        "direction": direction,
+        "max_deg": max_degree,
+        "mean_deg": round(mean_degree, 2),
+        "deg<=1": sum(c for d, c in histogram.items() if d <= 1),
+        "deg>=10": sum(c for d, c in histogram.items() if d >= 10),
+        "deg>=50": sum(c for d, c in histogram.items() if d >= 50),
+    }
+
+
+def test_fig1_degree_distributions(benchmark, all_graphs, bench_scale):
+    """Reproduce the Figure 1 degree-distribution data for every dataset."""
+
+    def build():
+        rows = []
+        for name, graph in all_graphs.items():
+            rows.append(_distribution_row(name, graph, "in"))
+            rows.append(_distribution_row(name, graph, "out"))
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    print_header(f"Figure 1 — degree distributions (scale={bench_scale})")
+    print(format_table(rows))
+
+    by_key = {(row["dataset"], row["direction"]): row for row in rows}
+    # Social graphs have fat-tailed distributions: the maximum degree is far
+    # above the mean.  Road networks are nearly regular.
+    for social in ("youtube", "orkut", "pocek", "follow-jul", "follow-dec"):
+        row = by_key[(social, "in")]
+        assert row["max_deg"] > 8 * row["mean_deg"], social
+    for road in ("roadnet-pa", "roadnet-tx", "roadnet-ca"):
+        row = by_key[(road, "in")]
+        assert row["max_deg"] <= 3 * row["mean_deg"], road
+    # The follow crawls have large numbers of leaf vertices (degree <= 1).
+    assert by_key[("follow-dec", "in")]["deg<=1"] > 0.3 * sum(
+        1 for _ in all_graphs["follow-dec"].vertex_ids
+    )

@@ -1,0 +1,50 @@
+"""E3 — Figure 2: CDF of the out-degree to in-degree ratio.
+
+The paper uses this CDF to show that undirected datasets sit entirely at
+ratio 1, that most users of the directed social graphs have balanced in-
+and out-degree, and that the Twitter follow crawls have the largest share
+of "superstar" vertices (ratio far from 1).
+"""
+
+from __future__ import annotations
+
+from repro.core.properties import degree_ratio_cdf
+from repro.metrics.report import format_table
+
+from bench_utils import print_header
+
+#: Ratio values at which the CDF is reported (mirrors the x-axis of Figure 2).
+PROBE_POINTS = [0.1, 0.5, 0.9, 1.0, 1.1, 2.0, 10.0]
+
+
+def test_fig2_degree_ratio_cdf(benchmark, all_graphs, bench_scale):
+    """Reproduce the Figure 2 CDF of out/in degree ratios for every dataset."""
+
+    def build():
+        return {
+            name: degree_ratio_cdf(graph, points=PROBE_POINTS)
+            for name, graph in all_graphs.items()
+        }
+
+    cdfs = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    print_header(f"Figure 2 — CDF of out-degree / in-degree ratio (scale={bench_scale})")
+    rows = []
+    for name, cdf in cdfs.items():
+        row = {"dataset": name}
+        for point, fraction in cdf:
+            row[f"<= {point:g}"] = round(fraction, 3)
+        rows.append(row)
+    print(format_table(rows))
+
+    values = {name: dict(cdf) for name, cdf in cdfs.items()}
+    # Undirected graphs: every vertex has ratio exactly 1.
+    for undirected in ("youtube", "orkut", "roadnet-pa", "roadnet-tx", "roadnet-ca"):
+        assert values[undirected][1.0] == 1.0
+        assert values[undirected][0.9] == 0.0
+    # Directed social graphs: most vertices have ratios close to 1, but the
+    # follow crawls keep the largest mass far from 1 ("superstar" users and
+    # crawl leaves), exactly the ordering Figure 2 shows.
+    follow_far = 1.0 - values["follow-dec"][2.0] + values["follow-dec"][0.5]
+    journal_far = 1.0 - values["soclivejournal"][2.0] + values["soclivejournal"][0.5]
+    assert follow_far > journal_far

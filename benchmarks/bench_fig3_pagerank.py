@@ -1,0 +1,90 @@
+"""E6 — Figure 3: PageRank execution time vs Communication Cost.
+
+Runs 10-iteration PageRank for every dataset x partitioner at the two
+granularities (configurations i and ii), prints the scatter data, the
+correlation of every metric with simulated time, and the best partitioner
+per dataset.  The paper's findings checked here:
+
+* Communication Cost is the best predictor of execution time (95%/96% in
+  the paper; we require a strong positive correlation that beats the
+  balance metrics);
+* PageRank is communication bound, so the finer granularity (ii) is not
+  faster than (i) for most datasets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import ExperimentConfig, run_algorithm_study
+
+from bench_utils import print_figure_summary
+from conftest import CONFIG_I_PARTITIONS, CONFIG_II_PARTITIONS
+
+
+def _run(config_partitions, all_graphs, dataset_names, bench_scale, bench_seed):
+    config = ExperimentConfig(
+        algorithm="PR",
+        num_partitions=config_partitions,
+        datasets=dataset_names,
+        scale=bench_scale,
+        seed=bench_seed,
+        num_iterations=10,
+    )
+    return run_algorithm_study(config, graphs=all_graphs)
+
+
+@pytest.fixture(scope="module")
+def pagerank_runs(all_graphs, dataset_names, bench_scale, bench_seed):
+    return {
+        "config-i": _run(CONFIG_I_PARTITIONS, all_graphs, dataset_names, bench_scale, bench_seed),
+        "config-ii": _run(CONFIG_II_PARTITIONS, all_graphs, dataset_names, bench_scale, bench_seed),
+    }
+
+
+def test_fig3_pagerank_config_i(benchmark, all_graphs, dataset_names, bench_scale, bench_seed):
+    """Figure 3, configuration (i): 128 partitions."""
+    records = benchmark.pedantic(
+        _run,
+        args=(CONFIG_I_PARTITIONS, all_graphs, dataset_names, bench_scale, bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    correlations = print_figure_summary(
+        f"Figure 3 (config i, {CONFIG_I_PARTITIONS} partitions) — PageRank time vs CommCost",
+        records,
+        metric="comm_cost",
+    )
+    assert correlations["comm_cost"] > 0.75
+    assert correlations["comm_cost"] > correlations["balance"]
+    assert correlations["comm_cost"] > correlations["part_stdev"]
+
+
+def test_fig3_pagerank_config_ii(benchmark, all_graphs, dataset_names, bench_scale, bench_seed):
+    """Figure 3, configuration (ii): 256 partitions."""
+    records = benchmark.pedantic(
+        _run,
+        args=(CONFIG_II_PARTITIONS, all_graphs, dataset_names, bench_scale, bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    correlations = print_figure_summary(
+        f"Figure 3 (config ii, {CONFIG_II_PARTITIONS} partitions) — PageRank time vs CommCost",
+        records,
+        metric="comm_cost",
+    )
+    assert correlations["comm_cost"] > 0.75
+
+
+def test_fig3_pagerank_granularity_effect(benchmark, pagerank_runs):
+    """Finer granularity increases PageRank time for most dataset/partitioner pairs."""
+
+    def compare():
+        coarse = {(r.dataset, r.partitioner): r.simulated_seconds for r in pagerank_runs["config-i"]}
+        fine = {(r.dataset, r.partitioner): r.simulated_seconds for r in pagerank_runs["config-ii"]}
+        slower = sum(1 for key in coarse if fine[key] > coarse[key])
+        return slower, len(coarse)
+
+    slower, total = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print(f"\nFiner granularity slower for {slower}/{total} (dataset, partitioner) pairs")
+    assert slower >= 0.7 * total

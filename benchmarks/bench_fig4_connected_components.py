@@ -1,0 +1,80 @@
+"""E7 — Figure 4: Connected Components execution time vs Communication Cost.
+
+The paper finds CommCost to be the best predictor (92%/94%) but notes that,
+unlike PageRank, the active vertex set shrinks quickly, so the fine-grained
+configuration (ii) performs better on the larger datasets (up to 22%).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import ExperimentConfig, run_algorithm_study
+
+from bench_utils import print_figure_summary
+from conftest import CONFIG_I_PARTITIONS, CONFIG_II_PARTITIONS
+
+
+def _run(config_partitions, all_graphs, dataset_names, bench_scale, bench_seed):
+    config = ExperimentConfig(
+        algorithm="CC",
+        num_partitions=config_partitions,
+        datasets=dataset_names,
+        scale=bench_scale,
+        seed=bench_seed,
+        num_iterations=10,
+    )
+    return run_algorithm_study(config, graphs=all_graphs)
+
+
+def test_fig4_connected_components_config_i(
+    benchmark, all_graphs, dataset_names, bench_scale, bench_seed
+):
+    """Figure 4, configuration (i)."""
+    records = benchmark.pedantic(
+        _run,
+        args=(CONFIG_I_PARTITIONS, all_graphs, dataset_names, bench_scale, bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    correlations = print_figure_summary(
+        f"Figure 4 (config i, {CONFIG_I_PARTITIONS} partitions) — Connected Components",
+        records,
+        metric="comm_cost",
+    )
+    assert correlations["comm_cost"] > 0.7
+    assert correlations["comm_cost"] > correlations["balance"]
+
+
+def test_fig4_connected_components_config_ii(
+    benchmark, all_graphs, dataset_names, bench_scale, bench_seed
+):
+    """Figure 4, configuration (ii)."""
+    records = benchmark.pedantic(
+        _run,
+        args=(CONFIG_II_PARTITIONS, all_graphs, dataset_names, bench_scale, bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    correlations = print_figure_summary(
+        f"Figure 4 (config ii, {CONFIG_II_PARTITIONS} partitions) — Connected Components",
+        records,
+        metric="comm_cost",
+    )
+    assert correlations["comm_cost"] > 0.7
+
+
+def test_fig4_active_set_shrinks(benchmark, all_graphs, bench_scale, bench_seed):
+    """CC converges for most vertices after a few iterations (the paper's explanation)."""
+    from repro.algorithms.connected_components import connected_components
+    from repro.engine.partitioned_graph import PartitionedGraph
+
+    graph = all_graphs["soclivejournal"]
+    pgraph = PartitionedGraph.partition(graph, "2D", CONFIG_I_PARTITIONS)
+
+    result = benchmark.pedantic(
+        lambda: connected_components(pgraph, max_iterations=10), rounds=1, iterations=1
+    )
+    actives = [record.active_vertices for record in result.report.supersteps]
+    print(f"\nActive vertices per superstep (soclivejournal): {actives}")
+    assert actives[-1] < 0.5 * actives[0]

@@ -1,0 +1,75 @@
+"""E9 — Figure 6: SSSP execution time vs Communication Cost.
+
+As in the paper, the road networks are excluded (the original evaluation
+ran out of memory on them) and every measurement is the average over five
+randomly chosen landmark vertices, which makes SSSP the noisiest of the
+four algorithms.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.shortest_paths import choose_landmarks, shortest_paths
+from repro.analysis.results import RunRecord
+from repro.engine.partitioned_graph import PartitionedGraph
+from repro.partitioning.registry import PAPER_PARTITIONER_NAMES
+
+from bench_utils import print_figure_summary
+from conftest import CONFIG_I_PARTITIONS, CONFIG_II_PARTITIONS
+
+#: Number of landmark vertices averaged per measurement (the paper uses 5).
+NUM_SOURCES = 5
+
+
+def _run(num_partitions, social_graphs, bench_seed):
+    records = []
+    for dataset, graph in social_graphs.items():
+        landmarks = choose_landmarks(graph, count=NUM_SOURCES, seed=bench_seed + 13)
+        for partitioner in PAPER_PARTITIONER_NAMES:
+            pgraph = PartitionedGraph.partition(graph, partitioner, num_partitions)
+            total_seconds = 0.0
+            total_supersteps = 0
+            for landmark in landmarks:
+                result = shortest_paths(pgraph, landmarks=[landmark])
+                total_seconds += result.simulated_seconds
+                total_supersteps += result.num_supersteps
+            records.append(
+                RunRecord(
+                    dataset=dataset,
+                    partitioner=partitioner,
+                    num_partitions=num_partitions,
+                    algorithm="SSSP",
+                    metrics=pgraph.metrics,
+                    simulated_seconds=total_seconds / len(landmarks),
+                    num_supersteps=total_supersteps // len(landmarks),
+                )
+            )
+    return records
+
+
+def test_fig6_sssp_config_i(benchmark, social_graphs, bench_scale, bench_seed):
+    """Figure 6, configuration (i): social datasets only, 5-source average."""
+    records = benchmark.pedantic(
+        _run, args=(CONFIG_I_PARTITIONS, social_graphs, bench_seed), rounds=1, iterations=1
+    )
+    correlations = print_figure_summary(
+        f"Figure 6 (config i, {CONFIG_I_PARTITIONS} partitions) — SSSP time vs CommCost "
+        f"(average of {NUM_SOURCES} sources)",
+        records,
+        metric="comm_cost",
+    )
+    assert correlations["comm_cost"] > 0.6
+    assert correlations["comm_cost"] > correlations["balance"]
+
+
+def test_fig6_sssp_config_ii(benchmark, social_graphs, bench_scale, bench_seed):
+    """Figure 6, configuration (ii)."""
+    records = benchmark.pedantic(
+        _run, args=(CONFIG_II_PARTITIONS, social_graphs, bench_seed), rounds=1, iterations=1
+    )
+    correlations = print_figure_summary(
+        f"Figure 6 (config ii, {CONFIG_II_PARTITIONS} partitions) — SSSP time vs CommCost "
+        f"(average of {NUM_SOURCES} sources)",
+        records,
+        metric="comm_cost",
+    )
+    assert correlations["comm_cost"] > 0.6

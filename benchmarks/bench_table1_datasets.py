@@ -1,0 +1,56 @@
+"""E1 — Table 1: characterisation of the nine datasets.
+
+Regenerates the dataset characterisation table (vertices, edges, symmetry,
+leaf-vertex percentages, triangles, connected components, diameter, size)
+for the synthetic analogues, printing the paper's values alongside for the
+columns the analogues are meant to track in *shape* (symmetry, component
+structure, leaf fractions), not in absolute size.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.characterization import build_table1
+from repro.metrics.report import format_table
+
+from bench_utils import print_header
+
+
+def test_table1_dataset_characterization(benchmark, bench_scale, bench_seed):
+    """Reproduce Table 1 for every dataset analogue."""
+
+    def build():
+        return build_table1(scale=bench_scale, seed=bench_seed)
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    print_header(f"Table 1 — dataset characterisation (scale={bench_scale})")
+    flat = []
+    for row in rows:
+        summary = row.summary
+        flat.append(
+            {
+                "dataset": summary.name,
+                "vertices": summary.num_vertices,
+                "edges": summary.num_edges,
+                "symm%": round(summary.symmetry_percent, 2),
+                "paper_symm%": row.paper_symmetry,
+                "zero_in%": round(summary.zero_in_percent, 2),
+                "zero_out%": round(summary.zero_out_percent, 2),
+                "triangles": summary.triangles,
+                "components": summary.connected_components,
+                "diameter": summary.diameter,
+                "size_bytes": summary.size_bytes,
+            }
+        )
+    print(format_table(flat))
+
+    # Shape checks mirroring Table 1.
+    by_name = {row.summary.name: row for row in rows}
+    for road in ("roadnet-pa", "roadnet-tx", "roadnet-ca"):
+        assert by_name[road].summary.symmetry_percent == 100.0
+        assert by_name[road].summary.connected_components > 1
+    assert by_name["orkut"].summary.symmetry_percent == 100.0
+    assert by_name["follow-dec"].summary.zero_in_percent > 25.0
+    assert by_name["follow-dec"].summary.num_vertices == max(
+        row.summary.num_vertices for row in rows
+    )

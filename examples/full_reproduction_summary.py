@@ -1,0 +1,93 @@
+"""Run the complete evaluation and print a compact paper-vs-reproduction digest.
+
+This regenerates, in one go, the headline number behind every figure and
+table of the paper (correlation coefficients, best partitioners,
+granularity and infrastructure effects) and prints them next to the values
+the paper reports.  It is the script used to populate EXPERIMENTS.md.
+
+Run with::
+
+    python examples/full_reproduction_summary.py [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import ExperimentConfig, run_algorithm_study, run_partitioning_study
+from repro.analysis import best_partitioner_per_dataset, correlation_with_time
+from repro.analysis.experiments import run_infrastructure_study
+from repro.analysis.results import group_by_dataset
+from repro.datasets.catalog import PAPER_DATASET_NAMES, load_all_datasets
+from repro.datasets.characterization import build_table1, format_table1
+
+SOCIAL = ["youtube", "pocek", "orkut", "soclivejournal", "follow-jul", "follow-dec"]
+
+
+def main(scale: float = 0.35, seed: int = 17) -> None:
+    graphs = load_all_datasets(scale=scale, seed=seed)
+
+    print("### Table 1 — dataset characterisation")
+    print(format_table1(build_table1(scale=scale, seed=seed)))
+    print()
+
+    print("### Tables 2/3 — partitioning metrics movement (128 -> 256 partitions)")
+    coarse = run_partitioning_study(128, graphs=graphs)
+    fine = run_partitioning_study(256, graphs=graphs)
+    growth = []
+    for dataset in PAPER_DATASET_NAMES:
+        for c, f in zip(coarse[dataset], fine[dataset]):
+            growth.append(f.comm_cost / c.comm_cost if c.comm_cost else 1.0)
+    print(f"CommCost growth when doubling partitions: "
+          f"min x{min(growth):.2f}, mean x{sum(growth) / len(growth):.2f}, max x{max(growth):.2f}"
+          f"  (paper: increases, but significantly less than double)")
+    print()
+
+    paper_correlations = {
+        ("PR", 128): 0.95, ("PR", 256): 0.96,
+        ("CC", 128): 0.92, ("CC", 256): 0.94,
+        ("TR", 128): 0.95, ("TR", 256): 0.97,
+        ("SSSP", 128): 0.80, ("SSSP", 256): 0.86,
+    }
+    for algorithm, metric in (("PR", "comm_cost"), ("CC", "comm_cost"),
+                              ("TR", "cut"), ("SSSP", "comm_cost")):
+        datasets = SOCIAL if algorithm == "SSSP" else list(PAPER_DATASET_NAMES)
+        print(f"### Figure for {algorithm} — correlation of {metric} with simulated time")
+        for partitions in (128, 256):
+            config = ExperimentConfig(
+                algorithm=algorithm,
+                num_partitions=partitions,
+                datasets=datasets,
+                scale=scale,
+                seed=seed,
+                num_iterations=10,
+                landmark_count=5,
+            )
+            records = run_algorithm_study(config, graphs=graphs)
+            value = correlation_with_time(records, metric)
+            other = correlation_with_time(records, "comm_cost" if metric == "cut" else "cut")
+            best = best_partitioner_per_dataset(records)
+            spreads = []
+            for _, group in group_by_dataset(records).items():
+                times = [r.simulated_seconds for r in group]
+                spreads.append((max(times) - min(times)) / min(times))
+            print(f"  {partitions} partitions: corr({metric})={value:+.3f} "
+                  f"[paper ~{paper_correlations[(algorithm, partitions)]:.2f}], "
+                  f"corr(other)={other:+.3f}, "
+                  f"best/worst spread mean {100 * sum(spreads) / len(spreads):.1f}%")
+            print(f"    best partitioner per dataset: {best}")
+        print()
+
+    print("### Section 4 — infrastructure study (PR on follow-dec, 256 partitions)")
+    results = run_infrastructure_study(
+        dataset="follow-dec", partitioner="2D", num_partitions=256,
+        num_iterations=10, graph=graphs["follow-dec"],
+    )
+    baseline = results[0]
+    for result in results:
+        print(f"  {result.label:30s} {result.simulated_seconds:8.4f}s "
+              f"({result.speedup_vs(baseline) * 100:5.1f}% faster; paper: 15% for iii, 20% for iv)")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.35)

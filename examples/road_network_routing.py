@@ -1,0 +1,74 @@
+"""Road-network scenario: landmark shortest paths with id-locality partitioning.
+
+Road networks are the paper's counterpoint to the social graphs: fully
+symmetric, nearly planar, huge diameter and vertex ids that encode
+geography.  This example shows how the modulo-based partitioners exploit
+that id locality, and runs landmark distance queries (SSSP) on top.
+
+Run with::
+
+    python examples/road_network_routing.py
+"""
+
+from __future__ import annotations
+
+from repro import PartitionedGraph, load_dataset, shortest_paths, summarize
+from repro.algorithms import choose_landmarks
+from repro.metrics.report import format_table
+
+NUM_PARTITIONS = 32
+
+
+def main() -> None:
+    graph = load_dataset("roadnet-ca", scale=1.0, seed=11)
+    summary = summarize(graph)
+    print(f"Road network analogue: {summary.num_vertices} intersections, "
+          f"{summary.num_edges} road segments, {summary.connected_components} components, "
+          f"diameter {summary.diameter}")
+
+    # Compare partitioners on the metrics that matter before running anything.
+    rows = []
+    pgraphs = {}
+    for strategy in ("DC", "SC", "2D", "RVC"):
+        pgraph = PartitionedGraph.partition(graph, strategy, NUM_PARTITIONS)
+        pgraphs[strategy] = pgraph
+        metrics = pgraph.metrics
+        rows.append(
+            {
+                "partitioner": strategy,
+                "comm_cost": metrics.comm_cost,
+                "cut": metrics.cut,
+                "balance": round(metrics.balance, 2),
+                "replication": round(metrics.replication_factor, 2),
+            }
+        )
+    print()
+    print(format_table(rows))
+    print("The modulo strategies (DC/SC) keep neighbouring intersections together, so their")
+    print("communication cost sits well below the random vertex cut's.")
+
+    # Landmark distance queries: 3 random landmarks, same landmarks for both runs.
+    landmarks = choose_landmarks(graph, count=3, seed=5)
+    print(f"\nComputing hop distances to landmarks {landmarks}...")
+    comparison = []
+    for strategy in ("DC", "RVC"):
+        result = shortest_paths(pgraphs[strategy], landmarks=landmarks)
+        reached = sum(1 for distances in result.vertex_values.values() if distances)
+        comparison.append(
+            {
+                "partitioner": strategy,
+                "supersteps": result.num_supersteps,
+                "vertices_reaching_a_landmark": reached,
+                "simulated_s": round(result.simulated_seconds, 4),
+            }
+        )
+    print(format_table(comparison))
+
+    dc_time = comparison[0]["simulated_s"]
+    rvc_time = comparison[1]["simulated_s"]
+    print(f"\nTailoring the partitioning to the road network saves "
+          f"{(rvc_time - dc_time) / rvc_time * 100:.1f}% of the SSSP time.")
+
+
+if __name__ == "__main__":
+    main()

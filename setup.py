@@ -1,0 +1,10 @@
+"""Setuptools shim so editable installs work without the ``wheel`` package.
+
+All project metadata lives in ``setup.cfg``; this file only enables
+``pip install -e .`` / ``python setup.py develop`` on offline environments
+that lack ``bdist_wheel`` support.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,113 @@
+"""repro: reproduction of "Cut to Fit: Tailoring the Partitioning to the Computation".
+
+The package re-implements, in pure Python, the full experimental pipeline
+of Kolokasis & Pratikakis' study of vertex-cut partitioning in GraphX:
+
+* :mod:`repro.core` — the property-graph substrate and dataset statistics;
+* :mod:`repro.datasets` — synthetic analogues of the paper's nine datasets;
+* :mod:`repro.partitioning` — the six evaluated partitioners (plus
+  extensions) and :mod:`repro.metrics` — the five partitioning metrics;
+* :mod:`repro.engine` — a GraphX-like BSP engine with a simulated cluster
+  cost model;
+* :mod:`repro.algorithms` — PageRank, Connected Components, Triangle Count
+  and SSSP on top of the engine;
+* :mod:`repro.analysis` — the experiment harness, correlation analysis and
+  the "cut to fit" partitioner advisor.
+
+Quickstart
+----------
+>>> from repro import load_dataset, PartitionedGraph, pagerank
+>>> graph = load_dataset("youtube", scale=0.2)
+>>> pgraph = PartitionedGraph.partition(graph, "2D", num_partitions=16)
+>>> result = pagerank(pgraph, num_iterations=10)
+>>> round(result.simulated_seconds, 3) > 0
+True
+"""
+
+from ._version import __version__
+from .algorithms import (
+    AlgorithmResult,
+    connected_components,
+    degree_count,
+    pagerank,
+    run_algorithm,
+    shortest_paths,
+    total_triangles,
+    triangle_count,
+)
+from .analysis import (
+    ExperimentConfig,
+    Recommendation,
+    RunRecord,
+    recommend_empirically,
+    recommend_partitioner,
+    run_algorithm_study,
+    run_infrastructure_study,
+    run_partitioning_study,
+)
+from .core import Graph, GraphBuilder, GraphSummary, read_edge_list, summarize, write_edge_list
+from .datasets import PAPER_DATASET_NAMES, load_all_datasets, load_dataset
+from .engine import ClusterConfig, CostParameters, PartitionedGraph, paper_cluster, pregel
+from .errors import (
+    AnalysisError,
+    DatasetError,
+    EngineError,
+    GraphIOError,
+    GraphValidationError,
+    PartitioningError,
+    ReproError,
+)
+from .metrics import PartitioningMetrics, compute_metrics
+from .partitioning import (
+    EXTENSION_PARTITIONER_NAMES,
+    PAPER_PARTITIONER_NAMES,
+    make_partitioner,
+    paper_partitioners,
+)
+
+__all__ = [
+    "__version__",
+    "AlgorithmResult",
+    "AnalysisError",
+    "ClusterConfig",
+    "CostParameters",
+    "DatasetError",
+    "EngineError",
+    "ExperimentConfig",
+    "EXTENSION_PARTITIONER_NAMES",
+    "Graph",
+    "GraphBuilder",
+    "GraphIOError",
+    "GraphSummary",
+    "GraphValidationError",
+    "PAPER_DATASET_NAMES",
+    "PAPER_PARTITIONER_NAMES",
+    "PartitionedGraph",
+    "PartitioningError",
+    "PartitioningMetrics",
+    "Recommendation",
+    "ReproError",
+    "RunRecord",
+    "compute_metrics",
+    "connected_components",
+    "degree_count",
+    "load_all_datasets",
+    "load_dataset",
+    "make_partitioner",
+    "pagerank",
+    "paper_cluster",
+    "paper_partitioners",
+    "pregel",
+    "read_edge_list",
+    "recommend_empirically",
+    "recommend_partitioner",
+    "run_algorithm",
+    "run_algorithm_study",
+    "run_infrastructure_study",
+    "run_partitioning_study",
+    "shortest_paths",
+    "summarize",
+    "total_triangles",
+    "triangle_count",
+    "write_edge_list",
+]

@@ -1,0 +1,24 @@
+"""The paper's four evaluation algorithms plus degree counting, on the engine."""
+
+from .connected_components import connected_components
+from .degrees import degree_count
+from .pagerank import pagerank, reference_pagerank
+from .registry import ALGORITHM_NAMES, algorithm_metric_of_interest, run_algorithm
+from .result import AlgorithmResult
+from .shortest_paths import choose_landmarks, shortest_paths
+from .triangle_count import total_triangles, triangle_count
+
+__all__ = [
+    "AlgorithmResult",
+    "ALGORITHM_NAMES",
+    "algorithm_metric_of_interest",
+    "choose_landmarks",
+    "connected_components",
+    "degree_count",
+    "pagerank",
+    "reference_pagerank",
+    "run_algorithm",
+    "shortest_paths",
+    "total_triangles",
+    "triangle_count",
+]

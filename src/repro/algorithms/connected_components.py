@@ -1,0 +1,81 @@
+"""Connected components via label propagation (GraphX semantics).
+
+Every vertex starts labelled with its own id; labels propagate along edges
+in both directions and every vertex keeps the minimum label it has seen.
+At convergence each (weakly) connected component is labelled with its
+lowest vertex id, which is exactly what GraphX's ``connectedComponents``
+returns.  The active set shrinks as labels converge, which is the effect
+that makes fine-grained partitioning pay off in the paper's Figure 4.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from ..engine.cluster import ClusterConfig
+from ..engine.cost_model import CostParameters
+from ..engine.partitioned_graph import PartitionedGraph
+from ..engine.pregel import pregel
+from .result import AlgorithmResult
+
+__all__ = ["connected_components"]
+
+_EDGE_UNITS = 1.0
+_VERTEX_UNITS = 0.5
+
+
+def connected_components(
+    pgraph: PartitionedGraph,
+    max_iterations: Optional[int] = None,
+    cluster: Optional[ClusterConfig] = None,
+    cost_parameters: Optional[CostParameters] = None,
+) -> AlgorithmResult:
+    """Label every vertex with the smallest vertex id of its weak component.
+
+    ``max_iterations`` caps the number of label-propagation supersteps; the
+    default (``None``) runs to the fixpoint.  The paper's evaluation caps
+    PageRank and Connected Components at 10 iterations, which the
+    experiment harness passes explicitly.
+    """
+    iterations = max_iterations if max_iterations is not None else pgraph.graph.num_vertices + 1
+
+    initial_values: Dict[int, int] = {int(v): int(v) for v in pgraph.graph.vertex_ids.tolist()}
+
+    def vertex_program(vertex, value, message):
+        if message is None or math.isinf(message):
+            return value
+        return min(value, int(message))
+
+    def send_message(src, src_value, dst, dst_value):
+        messages = []
+        if src_value < dst_value:
+            messages.append((dst, src_value))
+        elif dst_value < src_value:
+            messages.append((src, dst_value))
+        return messages
+
+    def merge_message(a, b):
+        return a if a < b else b
+
+    result = pregel(
+        pgraph,
+        initial_values=initial_values,
+        initial_message=math.inf,
+        vertex_program=vertex_program,
+        send_message=send_message,
+        merge_message=merge_message,
+        max_iterations=iterations,
+        active_direction="either",
+        cluster=cluster,
+        cost_parameters=cost_parameters,
+        edge_compute_units=_EDGE_UNITS,
+        vertex_compute_units=_VERTEX_UNITS,
+    )
+
+    return AlgorithmResult(
+        algorithm="ConnectedComponents",
+        vertex_values=dict(result.vertex_values),
+        num_supersteps=result.num_supersteps,
+        report=result.report,
+    )

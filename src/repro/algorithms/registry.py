@@ -1,0 +1,81 @@
+"""Name-based access to the paper's four evaluation algorithms.
+
+The registry hides the per-algorithm calling conventions behind a single
+``run_algorithm(name, pgraph, ...)`` entry point so the experiment harness
+can sweep algorithms uniformly.  PageRank and Connected Components run for
+10 iterations by default (the paper's setting); SSSP picks 5 deterministic
+landmark vertices unless told otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..engine.cluster import ClusterConfig
+from ..engine.cost_model import CostParameters
+from ..engine.partitioned_graph import PartitionedGraph
+from ..errors import EngineError
+from .connected_components import connected_components
+from .pagerank import pagerank
+from .result import AlgorithmResult
+from .shortest_paths import choose_landmarks, shortest_paths
+from .triangle_count import triangle_count
+
+__all__ = ["ALGORITHM_NAMES", "run_algorithm", "algorithm_metric_of_interest"]
+
+#: The paper's four algorithms, with their abbreviations.
+ALGORITHM_NAMES: List[str] = ["PR", "CC", "TR", "SSSP"]
+
+#: The partitioning metric Section 4 found most predictive for each algorithm.
+_METRIC_OF_INTEREST: Dict[str, str] = {
+    "PR": "comm_cost",
+    "CC": "comm_cost",
+    "TR": "cut",
+    "SSSP": "comm_cost",
+}
+
+
+def algorithm_metric_of_interest(name: str) -> str:
+    """The metric the paper correlates against runtime for this algorithm."""
+    key = name.upper()
+    if key not in _METRIC_OF_INTEREST:
+        raise EngineError(f"unknown algorithm {name!r}; expected one of {ALGORITHM_NAMES}")
+    return _METRIC_OF_INTEREST[key]
+
+
+def run_algorithm(
+    name: str,
+    pgraph: PartitionedGraph,
+    num_iterations: int = 10,
+    landmarks: Optional[List[int]] = None,
+    landmark_seed: int = 7,
+    cluster: Optional[ClusterConfig] = None,
+    cost_parameters: Optional[CostParameters] = None,
+) -> AlgorithmResult:
+    """Run one of the paper's algorithms by abbreviation (PR, CC, TR, SSSP)."""
+    key = name.upper()
+    if key == "PR":
+        return pagerank(
+            pgraph,
+            num_iterations=num_iterations,
+            cluster=cluster,
+            cost_parameters=cost_parameters,
+        )
+    if key == "CC":
+        return connected_components(
+            pgraph,
+            max_iterations=num_iterations,
+            cluster=cluster,
+            cost_parameters=cost_parameters,
+        )
+    if key == "TR":
+        return triangle_count(pgraph, cluster=cluster, cost_parameters=cost_parameters)
+    if key == "SSSP":
+        chosen = landmarks or choose_landmarks(pgraph, count=1, seed=landmark_seed)
+        return shortest_paths(
+            pgraph,
+            landmarks=chosen,
+            cluster=cluster,
+            cost_parameters=cost_parameters,
+        )
+    raise EngineError(f"unknown algorithm {name!r}; expected one of {ALGORITHM_NAMES}")

@@ -1,0 +1,35 @@
+"""Common result type returned by every graph algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from ..engine.cost_model import SimulationReport
+
+__all__ = ["AlgorithmResult"]
+
+
+@dataclass
+class AlgorithmResult:
+    """Final vertex values plus the simulated execution report of one run."""
+
+    algorithm: str
+    vertex_values: Dict[int, Any]
+    num_supersteps: int
+    report: SimulationReport
+
+    @property
+    def simulated_seconds(self) -> float:
+        """End-to-end simulated execution time of the run."""
+        return self.report.total_seconds
+
+    def value_of(self, vertex: int) -> Any:
+        """Final value of one vertex (raises ``KeyError`` if unknown)."""
+        return self.vertex_values[vertex]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AlgorithmResult({self.algorithm!r}, vertices={len(self.vertex_values)}, "
+            f"supersteps={self.num_supersteps}, seconds={self.simulated_seconds:.4f})"
+        )

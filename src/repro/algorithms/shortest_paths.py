@@ -1,0 +1,112 @@
+"""Single-source shortest paths to a set of landmarks (GraphX ``ShortestPaths``).
+
+Every vertex ends up with a map ``{landmark: hop distance}`` containing the
+landmarks it can reach by following edge direction.  As in GraphX, messages
+flow from edge destinations back to sources, so the distance of ``v`` to a
+landmark ``l`` is the length of the shortest directed path ``v -> ... -> l``.
+
+The paper evaluates this algorithm with 5 randomly chosen source vertices
+per dataset; :func:`choose_landmarks` reproduces that selection
+deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional
+
+from ..engine.cluster import ClusterConfig
+from ..engine.cost_model import CostParameters
+from ..engine.partitioned_graph import PartitionedGraph
+from ..engine.pregel import pregel
+from ..errors import EngineError
+from .result import AlgorithmResult
+
+__all__ = ["shortest_paths", "choose_landmarks"]
+
+_EDGE_UNITS = 1.0
+_VERTEX_UNITS = 0.5
+
+
+def _merge_maps(left: Dict[int, int], right: Dict[int, int]) -> Dict[int, int]:
+    """Key-wise minimum of two landmark->distance maps."""
+    merged = dict(left)
+    for landmark, distance in right.items():
+        if landmark not in merged or distance < merged[landmark]:
+            merged[landmark] = distance
+    return merged
+
+
+def _increment(distances: Dict[int, int]) -> Dict[int, int]:
+    return {landmark: distance + 1 for landmark, distance in distances.items()}
+
+
+def shortest_paths(
+    pgraph: PartitionedGraph,
+    landmarks: Iterable[int],
+    max_iterations: Optional[int] = None,
+    cluster: Optional[ClusterConfig] = None,
+    cost_parameters: Optional[CostParameters] = None,
+) -> AlgorithmResult:
+    """Compute hop distances from every vertex to each landmark it can reach."""
+    landmark_list = [int(v) for v in landmarks]
+    if not landmark_list:
+        raise EngineError("at least one landmark vertex is required")
+    known = set(pgraph.graph.vertex_ids.tolist())
+    unknown = [v for v in landmark_list if v not in known]
+    if unknown:
+        raise EngineError(f"landmarks not present in the graph: {unknown}")
+
+    iterations = max_iterations if max_iterations is not None else pgraph.graph.num_vertices + 1
+    landmark_set = set(landmark_list)
+
+    initial_values: Dict[int, Dict[int, int]] = {
+        int(v): ({int(v): 0} if int(v) in landmark_set else {})
+        for v in pgraph.graph.vertex_ids.tolist()
+    }
+
+    def vertex_program(vertex, value, message):
+        if not message:
+            return value
+        return _merge_maps(value, message)
+
+    def send_message(src, src_value, dst, dst_value):
+        if not dst_value:
+            return ()
+        candidate = _increment(dst_value)
+        if _merge_maps(candidate, src_value) != src_value:
+            return ((src, candidate),)
+        return ()
+
+    result = pregel(
+        pgraph,
+        initial_values=initial_values,
+        initial_message={},
+        vertex_program=vertex_program,
+        send_message=send_message,
+        merge_message=_merge_maps,
+        max_iterations=iterations,
+        active_direction="either",
+        cluster=cluster,
+        cost_parameters=cost_parameters,
+        edge_compute_units=_EDGE_UNITS,
+        vertex_compute_units=_VERTEX_UNITS,
+    )
+
+    return AlgorithmResult(
+        algorithm="ShortestPaths",
+        vertex_values=dict(result.vertex_values),
+        num_supersteps=result.num_supersteps,
+        report=result.report,
+    )
+
+
+def choose_landmarks(pgraph_or_graph, count: int = 5, seed: int = 7) -> List[int]:
+    """Deterministically sample landmark vertices, as the paper's SSSP setup does."""
+    graph = getattr(pgraph_or_graph, "graph", pgraph_or_graph)
+    vertices = graph.vertex_ids.tolist()
+    if not vertices:
+        raise EngineError("cannot choose landmarks from an empty graph")
+    rng = random.Random(seed)
+    count = min(count, len(vertices))
+    return sorted(rng.sample(vertices, count))

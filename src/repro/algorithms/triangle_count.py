@@ -1,0 +1,204 @@
+"""Triangle counting over the partitioned-graph engine (GraphX semantics).
+
+The computation follows GraphX's ``TriangleCount``:
+
+1. canonicalise the graph (undirected, no self loops, no duplicates) and
+   collect every vertex's neighbour-id set at its master partition;
+2. reduce the per-vertex state of every **cut** vertex and ship its
+   neighbour set to the edge partitions that mirror it;
+3. for every canonical edge intersect the two endpoint sets, crediting both
+   endpoints, then halve the per-vertex counters.
+
+Cost-model calibration
+----------------------
+The paper finds that Triangle Count behaves very differently from the
+Pregel-style algorithms: its execution time is driven by per-vertex state
+and per-vertex/per-edge compute, correlates with the **Cut** metric and is
+almost insensitive (5-10%) to the partitioner choice.  The accounting here
+encodes exactly that explanation:
+
+* the neighbour-collection and intersection shuffles are charged as bulk
+  transfers whose *bytes* scale with the number of edges (partitioner
+  independent), not as per-replica message envelopes;
+* one reduction (message + serialisation compute) is charged per **cut
+  vertex**, following the paper's Section 4 explanation;
+* set construction and intersection probes carry high per-unit compute
+  costs, making the algorithm compute-bound relative to PageRank.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from ..engine.cluster import ClusterConfig, paper_cluster
+from ..engine.cost_model import CostModel, CostParameters
+from ..engine.partitioned_graph import PartitionedGraph
+from .result import AlgorithmResult
+
+__all__ = ["triangle_count", "total_triangles"]
+
+#: Compute units per neighbour-id inserted while building adjacency sets.
+_SET_BUILD_UNITS = 2.0
+#: Compute units per id probed during a set intersection.
+_INTERSECT_UNITS = 2.0
+#: Reduction overhead (compute units) charged once per cut vertex.
+_CUT_REDUCTION_UNITS = 150.0
+#: Bytes per neighbour id shipped during the bulk shuffles.
+_BYTES_PER_ID = 16
+#: Fixed serialised per-vertex state shipped for every cut vertex during the
+#: phase-2 reduction (the "per-vertex state" cost the paper attributes to
+#: the Cut metric).
+_CUT_STATE_BYTES = 3072
+
+
+def _add_bulk_bytes(model: CostModel, report, remote_bytes: int) -> None:
+    """Charge a bulk payload (bytes only) on top of the last recorded superstep."""
+    record = report.supersteps[-1]
+    seconds = model.network_seconds(0, 0, remote_bytes)
+    record.bytes_remote += remote_bytes
+    record.network_seconds += seconds
+    record.total_seconds += seconds
+
+
+def triangle_count(
+    pgraph: PartitionedGraph,
+    cluster: Optional[ClusterConfig] = None,
+    cost_parameters: Optional[CostParameters] = None,
+) -> AlgorithmResult:
+    """Count triangles through every vertex of the canonicalised graph.
+
+    ``vertex_values`` of the returned result maps every vertex to the
+    number of triangles it participates in; :func:`total_triangles` sums
+    them into the global count reported in Table 1.
+    """
+    cluster = cluster or paper_cluster()
+    model = CostModel(cluster, cost_parameters)
+    report = model.new_report()
+    report.load_seconds = model.load_seconds(pgraph.dataset_bytes)
+
+    routing = pgraph.routing
+    num_partitions = pgraph.num_partitions
+
+    # ------------------------------------------------------------------
+    # Phase 1: canonicalise edges and collect neighbour-id sets at vertex
+    # masters (GraphX collectNeighborIds).  The shuffle moves every edge
+    # endpoint once, so its volume depends on the graph, not the
+    # partitioner.
+    # ------------------------------------------------------------------
+    partition_units = [0.0] * num_partitions
+    neighbour_sets: Dict[int, Set[int]] = {
+        int(v): set() for v in pgraph.graph.vertex_ids.tolist()
+    }
+    seen_canonical: Set = set()
+    edges_scanned = 0
+    canonical_edges = 0
+
+    for partition in pgraph.partitions:
+        pid = partition.partition_id
+        src_list, dst_list = partition.edge_pairs()
+        for src, dst in zip(src_list, dst_list):
+            edges_scanned += 1
+            partition_units[pid] += 1.0
+            if src == dst:
+                continue
+            lo, hi = (src, dst) if src < dst else (dst, src)
+            key = (lo, hi)
+            if key in seen_canonical:
+                continue
+            seen_canonical.add(key)
+            canonical_edges += 1
+            neighbour_sets[lo].add(hi)
+            neighbour_sets[hi].add(lo)
+            partition_units[pid] += 2 * _SET_BUILD_UNITS
+
+    model.record_superstep(
+        report,
+        superstep=0,
+        partition_units=partition_units,
+        messages_remote=num_partitions,
+        messages_local=num_partitions,
+        active_vertices=len(neighbour_sets),
+        edges_scanned=edges_scanned,
+    )
+    _add_bulk_bytes(model, report, 2 * canonical_edges * _BYTES_PER_ID)
+
+    # ------------------------------------------------------------------
+    # Phase 2: one per-vertex state reduction per cut vertex, shipping its
+    # neighbour set to the partitions that mirror it.
+    # ------------------------------------------------------------------
+    partition_units = [0.0] * num_partitions
+    cut_vertices = 0
+    shipped_bytes = 0
+    for vertex, parts in routing.replicas.items():
+        if len(parts) <= 1:
+            continue
+        cut_vertices += 1
+        master = routing.master_of(vertex)
+        set_size = len(neighbour_sets.get(vertex, ()))
+        partition_units[master] += _CUT_REDUCTION_UNITS + set_size * _SET_BUILD_UNITS
+        shipped_bytes += _CUT_STATE_BYTES + set_size * _BYTES_PER_ID
+    model.record_superstep(
+        report,
+        superstep=1,
+        partition_units=partition_units,
+        messages_remote=cut_vertices,
+        messages_local=0,
+        active_vertices=cut_vertices,
+        edges_scanned=0,
+    )
+    _add_bulk_bytes(model, report, shipped_bytes)
+
+    # ------------------------------------------------------------------
+    # Phase 3: per-edge set intersections, then credit both endpoints.
+    # ------------------------------------------------------------------
+    partition_units = [0.0] * num_partitions
+    double_counts: Dict[int, int] = {v: 0 for v in neighbour_sets}
+    counted_targets = 0
+    edges_scanned = 0
+    counted: Set = set()
+
+    for partition in pgraph.partitions:
+        pid = partition.partition_id
+        src_list, dst_list = partition.edge_pairs()
+        for src, dst in zip(src_list, dst_list):
+            if src == dst:
+                continue
+            lo, hi = (src, dst) if src < dst else (dst, src)
+            key = (lo, hi)
+            if key in counted:
+                continue
+            counted.add(key)
+            edges_scanned += 1
+            set_lo = neighbour_sets[lo]
+            set_hi = neighbour_sets[hi]
+            smaller, larger = (set_lo, set_hi) if len(set_lo) <= len(set_hi) else (set_hi, set_lo)
+            partition_units[pid] += len(smaller) * _INTERSECT_UNITS
+            common = len(smaller & larger)
+            if common:
+                double_counts[lo] += common
+                double_counts[hi] += common
+                counted_targets += 2
+
+    model.record_superstep(
+        report,
+        superstep=2,
+        partition_units=partition_units,
+        messages_remote=num_partitions,
+        messages_local=num_partitions,
+        active_vertices=sum(1 for c in double_counts.values() if c),
+        edges_scanned=edges_scanned,
+    )
+    _add_bulk_bytes(model, report, counted_targets * _BYTES_PER_ID)
+
+    per_vertex = {vertex: count // 2 for vertex, count in double_counts.items()}
+    return AlgorithmResult(
+        algorithm="TriangleCount",
+        vertex_values=per_vertex,
+        num_supersteps=report.num_supersteps,
+        report=report,
+    )
+
+
+def total_triangles(result: AlgorithmResult) -> int:
+    """Global triangle count from a :func:`triangle_count` result."""
+    return sum(result.vertex_values.values()) // 3

@@ -1,0 +1,83 @@
+"""Correlation between partitioning metrics and simulated execution time.
+
+Figures 3-6 of the paper report, per algorithm and granularity, the Pearson
+correlation between execution time and one partitioning metric over all
+(dataset, partitioner) runs.  This module reproduces that computation and
+also provides Spearman rank correlation as a robustness check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .results import RunRecord
+
+__all__ = ["pearson", "spearman", "correlation_with_time", "correlation_table"]
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient of two equal-length sequences."""
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    if x.shape != y.shape:
+        raise AnalysisError("pearson requires sequences of equal length")
+    if x.size < 2:
+        raise AnalysisError("pearson requires at least two observations")
+    x_std = x.std()
+    y_std = y.std()
+    if x_std == 0 or y_std == 0:
+        return 0.0
+    return float(np.mean((x - x.mean()) * (y - y.mean())) / (x_std * y_std))
+
+
+def _ranks(values: Sequence[float]) -> np.ndarray:
+    order = np.argsort(np.asarray(values, dtype=np.float64), kind="mergesort")
+    ranks = np.empty(len(values), dtype=np.float64)
+    ranks[order] = np.arange(1, len(values) + 1, dtype=np.float64)
+    # Average ranks of ties.
+    array = np.asarray(values, dtype=np.float64)
+    for value in np.unique(array):
+        mask = array == value
+        if mask.sum() > 1:
+            ranks[mask] = ranks[mask].mean()
+    return ranks
+
+
+def spearman(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Spearman rank correlation coefficient."""
+    if len(xs) != len(ys):
+        raise AnalysisError("spearman requires sequences of equal length")
+    if len(xs) < 2:
+        raise AnalysisError("spearman requires at least two observations")
+    return pearson(_ranks(xs), _ranks(ys))
+
+
+def correlation_with_time(
+    records: Iterable[RunRecord],
+    metric: str,
+    method: str = "pearson",
+) -> float:
+    """Correlation between a partitioning metric and simulated time over runs."""
+    records = list(records)
+    if len(records) < 2:
+        raise AnalysisError("need at least two runs to correlate")
+    xs = [record.metric(metric) for record in records]
+    ys = [record.simulated_seconds for record in records]
+    if method == "pearson":
+        return pearson(xs, ys)
+    if method == "spearman":
+        return spearman(xs, ys)
+    raise AnalysisError(f"unknown correlation method {method!r}")
+
+
+def correlation_table(
+    records: Iterable[RunRecord],
+    metrics: Sequence[str] = ("comm_cost", "cut", "non_cut", "balance", "part_stdev"),
+    method: str = "pearson",
+) -> Dict[str, float]:
+    """Correlation of every requested metric with simulated time."""
+    records = list(records)
+    return {metric: correlation_with_time(records, metric, method=method) for metric in metrics}

@@ -1,0 +1,200 @@
+"""Experiment harness: the sweeps behind every table and figure.
+
+Three entry points cover the paper's evaluation:
+
+* :func:`run_partitioning_study` — Tables 2 and 3 (metrics of every
+  partitioner on every dataset at one granularity);
+* :func:`run_algorithm_study` — Figures 3-6 (simulated execution time of
+  one algorithm for every dataset x partitioner at one granularity);
+* :func:`run_infrastructure_study` — the Section 4 experiment that varies
+  the network speed and storage medium (configurations ii/iii/iv).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..algorithms.registry import run_algorithm
+from ..algorithms.shortest_paths import choose_landmarks
+from ..core.graph import Graph
+from ..datasets.catalog import PAPER_DATASET_NAMES, load_dataset
+from ..engine.cluster import ClusterConfig, paper_cluster
+from ..engine.cost_model import CostParameters
+from ..engine.partitioned_graph import PartitionedGraph
+from ..errors import AnalysisError
+from ..metrics.partition_metrics import PartitioningMetrics, compute_metrics
+from ..partitioning.registry import PAPER_PARTITIONER_NAMES, make_partitioner
+from .results import RunRecord
+
+__all__ = [
+    "ExperimentConfig",
+    "run_partitioning_study",
+    "run_algorithm_study",
+    "run_infrastructure_study",
+    "InfrastructureResult",
+]
+
+#: Granularities used by the paper: configuration (i) and configuration (ii).
+PAPER_GRANULARITIES = (128, 256)
+
+
+@dataclass
+class ExperimentConfig:
+    """Parameters of one algorithm sweep (one panel of Figures 3-6)."""
+
+    algorithm: str
+    num_partitions: int = 128
+    datasets: Sequence[str] = field(default_factory=lambda: list(PAPER_DATASET_NAMES))
+    partitioners: Sequence[str] = field(default_factory=lambda: list(PAPER_PARTITIONER_NAMES))
+    scale: float = 1.0
+    seed: int = 0
+    num_iterations: int = 10
+    landmark_count: int = 5
+    cluster: Optional[ClusterConfig] = None
+    cost_parameters: Optional[CostParameters] = None
+
+    def __post_init__(self) -> None:
+        if self.num_partitions < 1:
+            raise AnalysisError("num_partitions must be >= 1")
+        if self.scale <= 0:
+            raise AnalysisError("scale must be positive")
+        if self.num_iterations < 1:
+            raise AnalysisError("num_iterations must be >= 1")
+
+
+def _resolve_graphs(
+    names: Sequence[str],
+    scale: float,
+    seed: int,
+    graphs: Optional[Dict[str, Graph]] = None,
+) -> Dict[str, Graph]:
+    if graphs is not None:
+        missing = [name for name in names if name not in graphs]
+        if missing:
+            raise AnalysisError(f"graphs missing for datasets: {missing}")
+        return {name: graphs[name] for name in names}
+    return {name: load_dataset(name, scale=scale, seed=seed) for name in names}
+
+
+def run_partitioning_study(
+    num_partitions: int,
+    datasets: Sequence[str] = None,
+    partitioners: Sequence[str] = None,
+    scale: float = 1.0,
+    seed: int = 0,
+    graphs: Optional[Dict[str, Graph]] = None,
+) -> Dict[str, List[PartitioningMetrics]]:
+    """Compute Table 2/3: metrics of every partitioner on every dataset."""
+    dataset_names = list(datasets or PAPER_DATASET_NAMES)
+    partitioner_names = list(partitioners or PAPER_PARTITIONER_NAMES)
+    resolved = _resolve_graphs(dataset_names, scale, seed, graphs)
+
+    table: Dict[str, List[PartitioningMetrics]] = {}
+    for dataset_name in dataset_names:
+        graph = resolved[dataset_name]
+        rows = []
+        for partitioner_name in partitioner_names:
+            strategy = make_partitioner(partitioner_name)
+            assignment = strategy.assign(graph, num_partitions)
+            rows.append(compute_metrics(assignment))
+        table[dataset_name] = rows
+    return table
+
+
+def run_algorithm_study(
+    config: ExperimentConfig,
+    graphs: Optional[Dict[str, Graph]] = None,
+) -> List[RunRecord]:
+    """Run one algorithm over every (dataset, partitioner) pair of the config."""
+    cluster = config.cluster or paper_cluster()
+    resolved = _resolve_graphs(list(config.datasets), config.scale, config.seed, graphs)
+
+    records: List[RunRecord] = []
+    for dataset_name in config.datasets:
+        graph = resolved[dataset_name]
+        landmarks = None
+        if config.algorithm.upper() == "SSSP":
+            landmarks = choose_landmarks(graph, count=config.landmark_count, seed=config.seed + 7)
+        for partitioner_name in config.partitioners:
+            pgraph = PartitionedGraph.partition(graph, partitioner_name, config.num_partitions)
+            result = run_algorithm(
+                config.algorithm,
+                pgraph,
+                num_iterations=config.num_iterations,
+                landmarks=landmarks,
+                cluster=cluster,
+                cost_parameters=config.cost_parameters,
+            )
+            records.append(
+                RunRecord(
+                    dataset=dataset_name,
+                    partitioner=partitioner_name,
+                    num_partitions=config.num_partitions,
+                    algorithm=config.algorithm.upper(),
+                    metrics=pgraph.metrics,
+                    simulated_seconds=result.simulated_seconds,
+                    num_supersteps=result.num_supersteps,
+                )
+            )
+    return records
+
+
+@dataclass(frozen=True)
+class InfrastructureResult:
+    """Simulated time of one infrastructure configuration (Section 4 study)."""
+
+    label: str
+    network_gbps: float
+    storage: str
+    simulated_seconds: float
+
+    def speedup_vs(self, baseline: "InfrastructureResult") -> float:
+        """Fractional time reduction relative to ``baseline`` (0.15 = 15% faster)."""
+        if baseline.simulated_seconds == 0:
+            return 0.0
+        return 1.0 - self.simulated_seconds / baseline.simulated_seconds
+
+
+def run_infrastructure_study(
+    dataset: str = "follow-dec",
+    partitioner: str = "2D",
+    num_partitions: int = 256,
+    algorithm: str = "PR",
+    scale: float = 1.0,
+    seed: int = 0,
+    num_iterations: int = 10,
+    graph: Optional[Graph] = None,
+) -> List[InfrastructureResult]:
+    """Reproduce the Section 4 infrastructure experiment.
+
+    Configuration (ii) is the 1 Gbps / HDD baseline, configuration (iii)
+    upgrades the network to 40 Gbps, configuration (iv) additionally moves
+    shuffle storage to local SSDs.
+    """
+    if graph is None:
+        graph = load_dataset(dataset, scale=scale, seed=seed)
+    pgraph = PartitionedGraph.partition(graph, partitioner, num_partitions)
+
+    configurations = [
+        ("config-ii (1 Gbps, HDD)", paper_cluster(network_gbps=1.0, storage="hdd")),
+        ("config-iii (40 Gbps, HDD)", paper_cluster(network_gbps=40.0, storage="hdd")),
+        ("config-iv (40 Gbps, SSD)", paper_cluster(network_gbps=40.0, storage="ssd")),
+    ]
+    results = []
+    for label, cluster in configurations:
+        outcome = run_algorithm(
+            algorithm,
+            pgraph,
+            num_iterations=num_iterations,
+            cluster=cluster,
+        )
+        results.append(
+            InfrastructureResult(
+                label=label,
+                network_gbps=cluster.network_gbps,
+                storage=cluster.storage,
+                simulated_seconds=outcome.simulated_seconds,
+            )
+        )
+    return results

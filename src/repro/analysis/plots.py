@@ -1,0 +1,148 @@
+"""Text rendering of the paper's figures (no plotting dependencies).
+
+The original figures are scatter plots (execution time vs a partitioning
+metric) and log-log degree distributions.  This module renders the same
+data as fixed-width ASCII so the figures can be regenerated in a terminal,
+a CI log, or the benchmark output without matplotlib.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import AnalysisError
+from .results import RunRecord
+
+__all__ = ["ascii_scatter", "scatter_from_records", "loglog_histogram"]
+
+_POINT_MARKS = "ox+*#@%&abcdefghijklmnopqrstuvwxyz"
+
+
+def ascii_scatter(
+    points: Sequence[Tuple[float, float]],
+    width: int = 64,
+    height: int = 20,
+    labels: Sequence[str] = None,
+    x_label: str = "x",
+    y_label: str = "y",
+    log_x: bool = False,
+) -> str:
+    """Render ``(x, y)`` points as an ASCII scatter plot.
+
+    ``labels`` optionally assigns each point to a series; each series gets
+    its own mark character and a legend line.  ``log_x`` plots the x axis
+    on a log10 scale (useful for CommCost, which spans orders of magnitude
+    across datasets).
+    """
+    if not points:
+        raise AnalysisError("ascii_scatter needs at least one point")
+    if width < 10 or height < 5:
+        raise AnalysisError("plot area too small (need width >= 10, height >= 5)")
+    if labels is not None and len(labels) != len(points):
+        raise AnalysisError("labels must have one entry per point")
+
+    xs = [float(x) for x, _ in points]
+    ys = [float(y) for _, y in points]
+    if log_x:
+        if min(xs) <= 0:
+            raise AnalysisError("log_x requires strictly positive x values")
+        xs = [math.log10(x) for x in xs]
+
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    series: List[str] = []
+    marks: Dict[str, str] = {}
+    if labels is None:
+        labels = ["data"] * len(points)
+    for label in labels:
+        if label not in marks:
+            marks[label] = _POINT_MARKS[len(marks) % len(_POINT_MARKS)]
+            series.append(label)
+
+    grid = [[" "] * width for _ in range(height)]
+    for (x, y), label in zip(zip(xs, ys), labels):
+        column = int(round((x - x_min) / x_span * (width - 1)))
+        row = int(round((y - y_min) / y_span * (height - 1)))
+        grid[height - 1 - row][column] = marks[label]
+
+    top = f"{y_max:.4g}"
+    bottom = f"{y_min:.4g}"
+    margin = max(len(top), len(bottom), len(y_label)) + 1
+    lines = [f"{y_label}"]
+    for index, row_cells in enumerate(grid):
+        prefix = top if index == 0 else (bottom if index == height - 1 else "")
+        lines.append(f"{prefix:>{margin}} |" + "".join(row_cells))
+    x_left = f"{(10 ** x_min if log_x else x_min):.4g}"
+    x_right = f"{(10 ** x_max if log_x else x_max):.4g}"
+    axis = " " * margin + " +" + "-" * width
+    scale_note = " (log scale)" if log_x else ""
+    footer = (
+        " " * margin
+        + "  "
+        + x_left
+        + " " * max(1, width - len(x_left) - len(x_right))
+        + x_right
+    )
+    lines.append(axis)
+    lines.append(footer)
+    lines.append(" " * margin + f"  {x_label}{scale_note}")
+    if len(series) > 1:
+        legend = ", ".join(f"{marks[name]}={name}" for name in series)
+        lines.append(" " * margin + f"  legend: {legend}")
+    return "\n".join(lines)
+
+
+def scatter_from_records(
+    records: Iterable[RunRecord],
+    metric: str = "comm_cost",
+    width: int = 64,
+    height: int = 20,
+    log_x: bool = True,
+) -> str:
+    """Render a Figure 3/4/5/6-style scatter (metric vs simulated seconds).
+
+    Each dataset becomes its own series, mirroring how the paper colours
+    its scatter points by dataset.
+    """
+    records = list(records)
+    if not records:
+        raise AnalysisError("no run records to plot")
+    points = [(record.metric(metric), record.simulated_seconds) for record in records]
+    labels = [record.dataset for record in records]
+    return ascii_scatter(
+        points,
+        width=width,
+        height=height,
+        labels=labels,
+        x_label=metric,
+        y_label="simulated seconds",
+        log_x=log_x,
+    )
+
+
+def loglog_histogram(
+    histogram: Dict[int, int],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "degree",
+    y_label: str = "vertices",
+) -> str:
+    """Render a Figure 1-style log-log degree histogram as ASCII."""
+    filtered = {degree: count for degree, count in histogram.items() if degree > 0 and count > 0}
+    if not filtered:
+        raise AnalysisError("histogram has no positive-degree entries to plot")
+    points = [(math.log10(degree), math.log10(count)) for degree, count in filtered.items()]
+    # Reuse the scatter renderer on the already-logged values.
+    rendered = ascii_scatter(
+        points,
+        width=width,
+        height=height,
+        x_label=f"log10({x_label})",
+        y_label=f"log10({y_label})",
+        log_x=False,
+    )
+    return rendered

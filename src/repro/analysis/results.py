@@ -1,0 +1,75 @@
+"""Result records for experiment runs and small helpers to summarise them."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..metrics.partition_metrics import PartitioningMetrics
+
+__all__ = ["RunRecord", "records_to_rows", "best_partitioner_per_dataset", "group_by_dataset"]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One (dataset, partitioner, granularity, algorithm) execution."""
+
+    dataset: str
+    partitioner: str
+    num_partitions: int
+    algorithm: str
+    metrics: PartitioningMetrics
+    simulated_seconds: float
+    num_supersteps: int
+
+    def metric(self, name: str) -> float:
+        """Value of a partitioning metric for this run (e.g. ``"comm_cost"``)."""
+        return self.metrics.value(name)
+
+    def as_row(self) -> Dict[str, object]:
+        """Flatten the record for tabulation."""
+        return {
+            "dataset": self.dataset,
+            "partitioner": self.partitioner,
+            "partitions": self.num_partitions,
+            "algorithm": self.algorithm,
+            "comm_cost": self.metrics.comm_cost,
+            "cut": self.metrics.cut,
+            "balance": round(self.metrics.balance, 2),
+            "seconds": round(self.simulated_seconds, 4),
+            "supersteps": self.num_supersteps,
+        }
+
+
+def records_to_rows(records: Iterable[RunRecord]) -> List[Dict[str, object]]:
+    """Convert run records into plain dict rows."""
+    return [record.as_row() for record in records]
+
+
+def group_by_dataset(records: Iterable[RunRecord]) -> Dict[str, List[RunRecord]]:
+    """Group run records by dataset name, preserving insertion order."""
+    grouped: Dict[str, List[RunRecord]] = defaultdict(list)
+    for record in records:
+        grouped[record.dataset].append(record)
+    return dict(grouped)
+
+
+def best_partitioner_per_dataset(
+    records: Iterable[RunRecord],
+    num_partitions: Optional[int] = None,
+) -> Dict[str, str]:
+    """Partitioner with the lowest simulated time for every dataset.
+
+    When ``num_partitions`` is given only runs at that granularity are
+    considered (this is how the per-configuration "best strategy" lists in
+    Section 4 of the paper are produced).
+    """
+    best: Dict[str, RunRecord] = {}
+    for record in records:
+        if num_partitions is not None and record.num_partitions != num_partitions:
+            continue
+        current = best.get(record.dataset)
+        if current is None or record.simulated_seconds < current.simulated_seconds:
+            best[record.dataset] = record
+    return {dataset: record.partitioner for dataset, record in best.items()}

@@ -1,0 +1,154 @@
+"""Saving and loading experiment results.
+
+Experiment sweeps are cheap to re-run at laptop scale but the paper-style
+analysis (correlation tables, best-partitioner summaries) is often done
+separately from the runs.  This module serialises run records and
+simulation reports to plain JSON so results can be archived, diffed across
+calibrations, and post-processed without re-running anything.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Union
+
+from ..engine.cost_model import SimulationReport
+from ..errors import AnalysisError
+from ..metrics.partition_metrics import PartitioningMetrics
+from .results import RunRecord
+
+__all__ = [
+    "metrics_to_dict",
+    "metrics_from_dict",
+    "record_to_dict",
+    "record_from_dict",
+    "report_to_dict",
+    "save_records",
+    "load_records",
+]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+_METRIC_FIELDS = [
+    "strategy",
+    "num_partitions",
+    "num_vertices",
+    "num_edges",
+    "balance",
+    "non_cut",
+    "cut",
+    "comm_cost",
+    "part_stdev",
+    "total_replicas",
+    "replication_factor",
+    "vertices_to_same",
+    "vertices_to_other",
+    "max_partition_edges",
+    "mean_partition_edges",
+    "max_partition_vertices",
+    "largest_edge_fraction",
+    "largest_vertex_fraction",
+]
+
+
+def metrics_to_dict(metrics: PartitioningMetrics) -> Dict[str, object]:
+    """Serialise a :class:`PartitioningMetrics` to a plain dict."""
+    return {name: getattr(metrics, name) for name in _METRIC_FIELDS}
+
+
+def metrics_from_dict(payload: Dict[str, object]) -> PartitioningMetrics:
+    """Rebuild a :class:`PartitioningMetrics` from :func:`metrics_to_dict` output."""
+    missing = [name for name in _METRIC_FIELDS if name not in payload]
+    if missing:
+        raise AnalysisError(f"metrics payload is missing fields: {missing}")
+    return PartitioningMetrics(**{name: payload[name] for name in _METRIC_FIELDS})
+
+
+def record_to_dict(record: RunRecord) -> Dict[str, object]:
+    """Serialise a :class:`RunRecord` to a plain dict."""
+    return {
+        "dataset": record.dataset,
+        "partitioner": record.partitioner,
+        "num_partitions": record.num_partitions,
+        "algorithm": record.algorithm,
+        "simulated_seconds": record.simulated_seconds,
+        "num_supersteps": record.num_supersteps,
+        "metrics": metrics_to_dict(record.metrics),
+    }
+
+
+def record_from_dict(payload: Dict[str, object]) -> RunRecord:
+    """Rebuild a :class:`RunRecord` from :func:`record_to_dict` output."""
+    required = {"dataset", "partitioner", "num_partitions", "algorithm",
+                "simulated_seconds", "num_supersteps", "metrics"}
+    missing = required - set(payload)
+    if missing:
+        raise AnalysisError(f"run record payload is missing fields: {sorted(missing)}")
+    return RunRecord(
+        dataset=payload["dataset"],
+        partitioner=payload["partitioner"],
+        num_partitions=int(payload["num_partitions"]),
+        algorithm=payload["algorithm"],
+        metrics=metrics_from_dict(payload["metrics"]),
+        simulated_seconds=float(payload["simulated_seconds"]),
+        num_supersteps=int(payload["num_supersteps"]),
+    )
+
+
+def report_to_dict(report: SimulationReport) -> Dict[str, object]:
+    """Serialise a :class:`SimulationReport` (cluster, totals and per-superstep rows)."""
+    return {
+        "cluster": {
+            "name": report.cluster.name,
+            "num_executors": report.cluster.num_executors,
+            "cores_per_executor": report.cluster.cores_per_executor,
+            "network_gbps": report.cluster.network_gbps,
+            "storage": report.cluster.storage,
+        },
+        "load_seconds": report.load_seconds,
+        "total_seconds": report.total_seconds,
+        "compute_seconds": report.compute_seconds,
+        "network_seconds": report.network_seconds,
+        "total_messages": report.total_messages,
+        "total_remote_messages": report.total_remote_messages,
+        "total_bytes": report.total_bytes,
+        "supersteps": [
+            {
+                "superstep": s.superstep,
+                "active_vertices": s.active_vertices,
+                "edges_scanned": s.edges_scanned,
+                "messages_remote": s.messages_remote,
+                "messages_local": s.messages_local,
+                "bytes_remote": s.bytes_remote,
+                "compute_seconds": s.compute_seconds,
+                "network_seconds": s.network_seconds,
+                "total_seconds": s.total_seconds,
+            }
+            for s in report.supersteps
+        ],
+    }
+
+
+def save_records(records: Iterable[RunRecord], path: PathLike, indent: int = 2) -> None:
+    """Write run records to a JSON file."""
+    payload = [record_to_dict(record) for record in records]
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=indent)
+    except OSError as exc:
+        raise AnalysisError(f"cannot write results to {path}: {exc}") from exc
+
+
+def load_records(path: PathLike) -> List[RunRecord]:
+    """Read run records back from a JSON file produced by :func:`save_records`."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise AnalysisError(f"cannot read results from {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, list):
+        raise AnalysisError(f"{path} does not contain a list of run records")
+    return [record_from_dict(item) for item in payload]

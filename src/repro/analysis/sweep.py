@@ -1,0 +1,125 @@
+"""Granularity sweeps: how the partition count shapes metrics and runtime.
+
+One of the paper's findings is that "partitioning depends on the number of
+partitions": the optimal strategy changes between 128 and 256 partitions
+and the best granularity depends on the algorithm.  This module sweeps the
+partition-count axis for a dataset and returns the per-strategy curves of
+every partitioning metric and (optionally) the simulated runtime of an
+algorithm, so the crossover points can be located.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..algorithms.registry import run_algorithm
+from ..core.graph import Graph
+from ..engine.cluster import ClusterConfig
+from ..engine.cost_model import CostParameters
+from ..engine.partitioned_graph import PartitionedGraph
+from ..errors import AnalysisError
+from ..metrics.partition_metrics import PartitioningMetrics
+from ..partitioning.registry import PAPER_PARTITIONER_NAMES
+
+__all__ = ["GranularityPoint", "GranularitySweep", "sweep_granularity"]
+
+
+@dataclass(frozen=True)
+class GranularityPoint:
+    """Metrics (and optional runtime) of one (strategy, num_partitions) pair."""
+
+    partitioner: str
+    num_partitions: int
+    metrics: PartitioningMetrics
+    simulated_seconds: Optional[float] = None
+
+
+@dataclass
+class GranularitySweep:
+    """All points of a sweep over the partition-count axis for one dataset."""
+
+    dataset: str
+    algorithm: Optional[str]
+    points: List[GranularityPoint] = field(default_factory=list)
+
+    def curve(self, partitioner: str, value: str = "comm_cost") -> List[tuple]:
+        """Return ``[(num_partitions, value), ...]`` for one strategy.
+
+        ``value`` is a metric name or ``"seconds"`` for the simulated time.
+        """
+        result = []
+        for point in self.points:
+            if point.partitioner != partitioner:
+                continue
+            if value == "seconds":
+                result.append((point.num_partitions, point.simulated_seconds))
+            else:
+                result.append((point.num_partitions, point.metrics.value(value)))
+        return sorted(result)
+
+    def best_partitioner(self, num_partitions: int, by: str = "seconds") -> str:
+        """Strategy with the lowest ``by`` value at one granularity."""
+        candidates = [p for p in self.points if p.num_partitions == num_partitions]
+        if not candidates:
+            raise AnalysisError(f"no sweep points at {num_partitions} partitions")
+
+        def key(point: GranularityPoint) -> float:
+            if by == "seconds":
+                if point.simulated_seconds is None:
+                    raise AnalysisError("sweep was run without an algorithm; no runtimes recorded")
+                return point.simulated_seconds
+            return point.metrics.value(by)
+
+        return min(candidates, key=key).partitioner
+
+    def crossover_points(self, by: str = "seconds") -> Dict[int, str]:
+        """Best strategy at every swept granularity (shows where the winner changes)."""
+        granularities = sorted({p.num_partitions for p in self.points})
+        return {n: self.best_partitioner(n, by=by) for n in granularities}
+
+
+def sweep_granularity(
+    graph: Graph,
+    partition_counts: Sequence[int],
+    partitioners: Sequence[str] = None,
+    algorithm: Optional[str] = None,
+    num_iterations: int = 5,
+    cluster: Optional[ClusterConfig] = None,
+    cost_parameters: Optional[CostParameters] = None,
+) -> GranularitySweep:
+    """Sweep the number of partitions for one dataset.
+
+    When ``algorithm`` is given (``"PR"``, ``"CC"``, ``"TR"`` or ``"SSSP"``)
+    every point also records the simulated runtime of that algorithm;
+    otherwise only the partitioning metrics are collected (much cheaper).
+    """
+    if not partition_counts:
+        raise AnalysisError("partition_counts must not be empty")
+    if any(n < 1 for n in partition_counts):
+        raise AnalysisError("partition counts must be >= 1")
+    names = list(partitioners or PAPER_PARTITIONER_NAMES)
+
+    sweep = GranularitySweep(dataset=graph.name or "graph", algorithm=algorithm)
+    for num_partitions in partition_counts:
+        for name in names:
+            pgraph = PartitionedGraph.partition(graph, name, num_partitions)
+            seconds = None
+            if algorithm is not None:
+                result = run_algorithm(
+                    algorithm,
+                    pgraph,
+                    num_iterations=num_iterations,
+                    cluster=cluster,
+                    cost_parameters=cost_parameters,
+                )
+                seconds = result.simulated_seconds
+            sweep.points.append(
+                GranularityPoint(
+                    partitioner=name,
+                    num_partitions=num_partitions,
+                    metrics=pgraph.metrics,
+                    simulated_seconds=seconds,
+                )
+            )
+    return sweep

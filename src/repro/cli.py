@@ -1,0 +1,132 @@
+"""Command-line interface for the reproduction.
+
+Provides three sub-commands mirroring the evaluation workflow::
+
+    python -m repro.cli characterize                 # Table 1
+    python -m repro.cli metrics --partitions 128     # Table 2 / 3
+    python -m repro.cli run --algorithm PR --partitions 128
+    python -m repro.cli advise --dataset orkut --algorithm PR
+
+All sub-commands accept ``--scale`` to shrink or grow the synthetic
+datasets and ``--seed`` for reproducibility.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.advisor import recommend_empirically, recommend_partitioner
+from .analysis.correlation import correlation_table
+from .analysis.experiments import (
+    ExperimentConfig,
+    run_algorithm_study,
+    run_partitioning_study,
+)
+from .analysis.results import best_partitioner_per_dataset, records_to_rows
+from .datasets.catalog import PAPER_DATASET_NAMES, load_dataset
+from .datasets.characterization import build_table1, format_table1
+from .metrics.report import format_metrics_table, format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Cut to Fit: Tailoring the Partitioning to the Computation'",
+    )
+    parser.add_argument("--scale", type=float, default=0.5, help="dataset scale factor")
+    parser.add_argument("--seed", type=int, default=0, help="generator seed")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("characterize", help="print the Table 1 dataset characterisation")
+
+    metrics_parser = subparsers.add_parser("metrics", help="print Table 2/3 partitioning metrics")
+    metrics_parser.add_argument("--partitions", type=int, default=128)
+    metrics_parser.add_argument("--datasets", nargs="*", default=None)
+
+    run_parser = subparsers.add_parser("run", help="run an algorithm sweep (Figures 3-6)")
+    run_parser.add_argument("--algorithm", default="PR", choices=["PR", "CC", "TR", "SSSP"])
+    run_parser.add_argument("--partitions", type=int, default=128)
+    run_parser.add_argument("--datasets", nargs="*", default=None)
+    run_parser.add_argument("--iterations", type=int, default=10)
+
+    advise_parser = subparsers.add_parser("advise", help="recommend a partitioner")
+    advise_parser.add_argument("--dataset", required=True)
+    advise_parser.add_argument("--algorithm", default="PR")
+    advise_parser.add_argument("--partitions", type=int, default=None)
+
+    return parser
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    rows = build_table1(scale=args.scale, seed=args.seed)
+    print(format_table1(rows))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    table = run_partitioning_study(
+        num_partitions=args.partitions,
+        datasets=args.datasets or PAPER_DATASET_NAMES,
+        scale=args.scale,
+        seed=args.seed,
+    )
+    print(format_metrics_table(table))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        algorithm=args.algorithm,
+        num_partitions=args.partitions,
+        datasets=args.datasets or PAPER_DATASET_NAMES,
+        scale=args.scale,
+        seed=args.seed,
+        num_iterations=args.iterations,
+    )
+    records = run_algorithm_study(config)
+    print(format_table(records_to_rows(records)))
+    print()
+    correlations = correlation_table(records)
+    print("Correlation of metrics with simulated time:")
+    for metric, value in correlations.items():
+        print(f"  {metric:>12}: {value:+.2f}")
+    best = best_partitioner_per_dataset(records)
+    print("Best partitioner per dataset:")
+    for dataset, partitioner in best.items():
+        print(f"  {dataset:>16}: {partitioner}")
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    if args.partitions:
+        recommendation = recommend_empirically(graph, args.algorithm, args.partitions)
+    else:
+        recommendation = recommend_partitioner(graph, args.algorithm)
+    print(str(recommendation))
+    if recommendation.candidates:
+        for name, score in sorted(recommendation.candidates.items(), key=lambda kv: kv[1]):
+            print(f"  {name:>8}: {score:,.0f}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "characterize": _cmd_characterize,
+        "metrics": _cmd_metrics,
+        "run": _cmd_run,
+        "advise": _cmd_advise,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

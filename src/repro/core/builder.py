@@ -1,0 +1,67 @@
+"""Incremental construction of :class:`~repro.core.graph.Graph` objects."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from ..errors import GraphValidationError
+from .graph import Graph
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Accumulates edges and isolated vertices, then builds an immutable graph.
+
+    Example
+    -------
+    >>> builder = GraphBuilder(name="toy")
+    >>> builder.add_edge(0, 1).add_edge(1, 2).add_vertex(7)
+    GraphBuilder(edges=2, vertices=1)
+    >>> graph = builder.build()
+    >>> graph.num_vertices, graph.num_edges
+    (4, 2)
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self._src = []
+        self._dst = []
+        self._vertices = []
+        self._name = name
+
+    def add_edge(self, src: int, dst: int) -> "GraphBuilder":
+        """Add one directed edge; returns ``self`` for chaining."""
+        if src < 0 or dst < 0:
+            raise GraphValidationError("vertex ids must be non-negative")
+        self._src.append(int(src))
+        self._dst.append(int(dst))
+        return self
+
+    def add_edges(self, edges: Iterable[Tuple[int, int]]) -> "GraphBuilder":
+        """Add many ``(src, dst)`` pairs; returns ``self`` for chaining."""
+        for src, dst in edges:
+            self.add_edge(src, dst)
+        return self
+
+    def add_vertex(self, vertex_id: int) -> "GraphBuilder":
+        """Register a vertex that may have no edges; returns ``self``."""
+        if vertex_id < 0:
+            raise GraphValidationError("vertex ids must be non-negative")
+        self._vertices.append(int(vertex_id))
+        return self
+
+    def add_undirected_edge(self, u: int, v: int) -> "GraphBuilder":
+        """Add both ``u -> v`` and ``v -> u``; returns ``self``."""
+        return self.add_edge(u, v).add_edge(v, u)
+
+    @property
+    def num_pending_edges(self) -> int:
+        """Number of edges added so far."""
+        return len(self._src)
+
+    def build(self) -> Graph:
+        """Create the immutable :class:`Graph` from the accumulated edges."""
+        return Graph(self._src, self._dst, vertices=self._vertices, name=self._name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GraphBuilder(edges={len(self._src)}, vertices={len(self._vertices)})"

@@ -1,0 +1,22 @@
+"""Validation helpers shared by the public entry points."""
+
+from __future__ import annotations
+
+from ..errors import GraphValidationError, PartitioningError
+from .graph import Graph
+
+__all__ = ["require_non_empty", "require_positive_partitions"]
+
+
+def require_non_empty(graph: Graph, context: str = "operation") -> None:
+    """Raise :class:`GraphValidationError` if the graph has no edges."""
+    if graph.num_edges == 0:
+        raise GraphValidationError(f"{context} requires a graph with at least one edge")
+
+
+def require_positive_partitions(num_partitions: int) -> None:
+    """Raise :class:`PartitioningError` unless ``num_partitions`` >= 1."""
+    if not isinstance(num_partitions, int) or isinstance(num_partitions, bool):
+        raise PartitioningError("num_partitions must be an integer")
+    if num_partitions < 1:
+        raise PartitioningError(f"num_partitions must be >= 1, got {num_partitions}")

@@ -1,0 +1,24 @@
+"""GraphX-like BSP execution substrate with a simulated cluster cost model."""
+
+from .cluster import STORAGE_BANDWIDTH_BYTES, ClusterConfig, paper_cluster
+from .cost_model import CostModel, CostParameters, SimulationReport, SuperstepRecord
+from .edge_partition import EdgePartition
+from .partitioned_graph import PartitionedGraph
+from .pregel import PregelResult, aggregate_messages, pregel
+from .routing import RoutingTable
+
+__all__ = [
+    "ClusterConfig",
+    "paper_cluster",
+    "STORAGE_BANDWIDTH_BYTES",
+    "CostModel",
+    "CostParameters",
+    "SimulationReport",
+    "SuperstepRecord",
+    "EdgePartition",
+    "PartitionedGraph",
+    "PregelResult",
+    "RoutingTable",
+    "aggregate_messages",
+    "pregel",
+]

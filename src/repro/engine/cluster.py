@@ -1,0 +1,87 @@
+"""Simulated cluster topology.
+
+The paper runs on a 5-node Spark cluster (1 driver + 4 executors, 32 cores
+and 220 GB each) connected by 1 Gbps Ethernet, with two infrastructure
+variants: a 40 Gbps network (configuration iii) and local SSD storage
+(configuration iv).  :class:`ClusterConfig` captures exactly those knobs so
+the cost model can reproduce the relative effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import EngineError
+
+__all__ = ["ClusterConfig", "paper_cluster", "STORAGE_BANDWIDTH_BYTES"]
+
+#: Sequential read bandwidth per storage medium, bytes/second.
+STORAGE_BANDWIDTH_BYTES = {
+    "hdd": 150e6,
+    "ssd": 500e6,
+    "nvme": 2000e6,
+}
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Static description of the simulated Spark cluster."""
+
+    num_executors: int = 4
+    cores_per_executor: int = 32
+    memory_gb_per_executor: float = 220.0
+    network_gbps: float = 1.0
+    storage: str = "hdd"
+    name: str = "paper-cluster"
+
+    def __post_init__(self) -> None:
+        if self.num_executors < 1:
+            raise EngineError("num_executors must be >= 1")
+        if self.cores_per_executor < 1:
+            raise EngineError("cores_per_executor must be >= 1")
+        if self.network_gbps <= 0:
+            raise EngineError("network_gbps must be positive")
+        if self.storage not in STORAGE_BANDWIDTH_BYTES:
+            raise EngineError(
+                f"unknown storage medium {self.storage!r}; "
+                f"expected one of {sorted(STORAGE_BANDWIDTH_BYTES)}"
+            )
+
+    @property
+    def total_cores(self) -> int:
+        """Total executor cores in the cluster."""
+        return self.num_executors * self.cores_per_executor
+
+    @property
+    def network_bytes_per_second(self) -> float:
+        """Point-to-point network bandwidth in bytes per second."""
+        return self.network_gbps * 1e9 / 8.0
+
+    @property
+    def storage_bytes_per_second(self) -> float:
+        """Sequential storage read bandwidth in bytes per second."""
+        return STORAGE_BANDWIDTH_BYTES[self.storage]
+
+    def executor_of_partition(self, partition_id: int) -> int:
+        """Executor that hosts a given partition (round-robin placement)."""
+        return partition_id % self.num_executors
+
+    def with_network(self, network_gbps: float) -> "ClusterConfig":
+        """Return a copy of this cluster with a different network speed."""
+        return replace(self, network_gbps=network_gbps, name=f"{self.name}-{network_gbps:g}gbps")
+
+    def with_storage(self, storage: str) -> "ClusterConfig":
+        """Return a copy of this cluster with a different storage medium."""
+        return replace(self, storage=storage, name=f"{self.name}-{storage}")
+
+
+def paper_cluster(network_gbps: float = 1.0, storage: str = "hdd") -> ClusterConfig:
+    """The 4-executor, 128-core cluster used throughout the paper's evaluation."""
+    return ClusterConfig(
+        num_executors=4,
+        cores_per_executor=32,
+        memory_gb_per_executor=220.0,
+        network_gbps=network_gbps,
+        storage=storage,
+        name="paper-cluster",
+    )

@@ -1,0 +1,56 @@
+"""A single edge partition: the unit of work of the BSP engine.
+
+Mirrors GraphX's ``EdgePartition``: the edges assigned to the partition
+plus the list of vertices that are referenced by those edges (the local
+vertex mirror set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["EdgePartition"]
+
+
+@dataclass
+class EdgePartition:
+    """Edges and mirrored vertices of one partition."""
+
+    partition_id: int
+    src: np.ndarray
+    dst: np.ndarray
+    vertex_ids: np.ndarray = field(default=None)
+
+    def __post_init__(self) -> None:
+        self.src = np.asarray(self.src, dtype=np.int64)
+        self.dst = np.asarray(self.dst, dtype=np.int64)
+        if self.vertex_ids is None:
+            endpoints = (
+                np.concatenate([self.src, self.dst]) if self.src.size else np.empty(0, np.int64)
+            )
+            self.vertex_ids = np.unique(endpoints)
+        else:
+            self.vertex_ids = np.asarray(self.vertex_ids, dtype=np.int64)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges stored in this partition."""
+        return int(self.src.size)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of distinct vertices mirrored into this partition."""
+        return int(self.vertex_ids.size)
+
+    def edge_pairs(self) -> Tuple[list, list]:
+        """Return the partition's edges as two Python lists ``(src, dst)``."""
+        return self.src.tolist(), self.dst.tolist()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EdgePartition(id={self.partition_id}, edges={self.num_edges}, "
+            f"vertices={self.num_vertices})"
+        )

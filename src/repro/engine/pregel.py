@@ -1,0 +1,373 @@
+"""GraphX-style Pregel (BSP) execution over a partitioned graph.
+
+The loop mirrors ``org.apache.spark.graphx.Pregel``:
+
+1. every vertex runs the vertex program once with the initial message;
+2. each superstep scans the edge triplets whose endpoints are *active*
+   (received a message in the previous superstep), produces messages,
+   pre-aggregates them per edge partition, ships them to the vertex
+   masters, applies the vertex program there and finally broadcasts the
+   updated vertex values back to every partition that mirrors the vertex;
+3. the computation stops when no messages are produced or the iteration
+   cap is reached.
+
+Every shuffle and broadcast is counted and priced by the
+:class:`~repro.engine.cost_model.CostModel`, producing the simulated
+execution time the evaluation benchmarks correlate with the partitioning
+metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..errors import EngineError
+from .cluster import ClusterConfig, paper_cluster
+from .cost_model import CostModel, CostParameters, SimulationReport
+from .partitioned_graph import PartitionedGraph
+
+__all__ = ["PregelResult", "pregel", "aggregate_messages"]
+
+VertexProgram = Callable[[int, Any, Any], Any]
+SendMessage = Callable[[int, Any, int, Any], Iterable[Tuple[int, Any]]]
+MergeMessage = Callable[[Any, Any], Any]
+
+#: Compute units charged for serialising one shuffled message.
+_MESSAGE_SERIALIZE_UNITS = 0.25
+#: Compute units charged for applying one replica synchronisation.
+_SYNC_APPLY_UNITS = 0.1
+
+
+@dataclass
+class PregelResult:
+    """Outcome of a Pregel run: final vertex values plus the simulation report."""
+
+    vertex_values: Dict[int, Any]
+    num_supersteps: int
+    report: SimulationReport
+
+    @property
+    def simulated_seconds(self) -> float:
+        """End-to-end simulated execution time."""
+        return self.report.total_seconds
+
+
+def _check_direction(active_direction: str) -> None:
+    if active_direction not in ("either", "out", "in", "both"):
+        raise EngineError(
+            f"active_direction must be 'either', 'out', 'in' or 'both', got {active_direction!r}"
+        )
+
+
+def _edge_lists(pgraph: PartitionedGraph) -> List[List[Tuple[int, int]]]:
+    """Materialise each partition's edges once as Python tuples."""
+    result = []
+    for partition in pgraph.partitions:
+        src, dst = partition.edge_pairs()
+        result.append(list(zip(src, dst)))
+    return result
+
+
+def _route_and_merge(
+    pgraph: PartitionedGraph,
+    cluster: ClusterConfig,
+    outboxes: List[Dict[int, Any]],
+    merge_message: MergeMessage,
+    partition_units: List[float],
+) -> Tuple[Dict[int, Any], int, int]:
+    """Ship per-partition pre-aggregated messages to vertex masters.
+
+    Returns ``(merged_messages, remote_count, local_count)``.
+    """
+    routing = pgraph.routing
+    merged: Dict[int, Any] = {}
+    remote = 0
+    local = 0
+    for partition_id, outbox in enumerate(outboxes):
+        if not outbox:
+            continue
+        from_executor = cluster.executor_of_partition(partition_id)
+        for target, message in outbox.items():
+            partition_units[partition_id] += _MESSAGE_SERIALIZE_UNITS
+            master = routing.master_of(target)
+            if master != partition_id:
+                if cluster.executor_of_partition(master) != from_executor:
+                    remote += 1
+                else:
+                    local += 1
+            if target in merged:
+                merged[target] = merge_message(merged[target], message)
+            else:
+                merged[target] = message
+    return merged, remote, local
+
+
+def _broadcast_updates(
+    pgraph: PartitionedGraph,
+    cluster: ClusterConfig,
+    updated_vertices: Iterable[int],
+    partition_units: List[float],
+) -> Tuple[int, int]:
+    """Push updated master values to every replica partition.
+
+    Returns ``(remote_count, local_count)``.  The volume of this broadcast
+    is what the CommCost metric approximates.
+    """
+    routing = pgraph.routing
+    remote = 0
+    local = 0
+    for vertex in updated_vertices:
+        master = routing.master_of(vertex)
+        master_executor = cluster.executor_of_partition(master)
+        for partition in routing.replica_partitions(vertex):
+            if partition == master:
+                continue
+            partition_units[partition] += _SYNC_APPLY_UNITS
+            if cluster.executor_of_partition(partition) != master_executor:
+                remote += 1
+            else:
+                local += 1
+    return remote, local
+
+
+def pregel(
+    pgraph: PartitionedGraph,
+    initial_values: Dict[int, Any],
+    initial_message: Any,
+    vertex_program: VertexProgram,
+    send_message: SendMessage,
+    merge_message: MergeMessage,
+    max_iterations: int = 20,
+    active_direction: str = "either",
+    cluster: Optional[ClusterConfig] = None,
+    cost_parameters: Optional[CostParameters] = None,
+    edge_compute_units: float = 1.0,
+    vertex_compute_units: float = 1.0,
+    always_active: bool = False,
+    default_message: Any = None,
+) -> PregelResult:
+    """Run a Pregel computation on ``pgraph`` and simulate its execution time.
+
+    Parameters
+    ----------
+    pgraph:
+        The partitioned graph to compute on.
+    initial_values:
+        Initial value for every vertex id of the graph.
+    initial_message:
+        Message delivered to every vertex in superstep 0.
+    vertex_program:
+        ``(vertex, value, message) -> new_value``.
+    send_message:
+        ``(src, src_value, dst, dst_value) -> iterable of (target, message)``;
+        called once per scanned edge triplet.
+    merge_message:
+        Commutative, associative combiner for messages to the same vertex.
+    max_iterations:
+        Maximum number of message-exchange supersteps.
+    active_direction:
+        Which endpoint must be active for a triplet to be scanned:
+        ``"either"`` (default), ``"out"`` (source active), ``"in"``
+        (destination active) or ``"both"``.
+    cluster, cost_parameters:
+        Simulated cluster topology and unit costs; defaults to the paper's
+        4-executor cluster with default calibration.
+    edge_compute_units, vertex_compute_units:
+        Abstract compute charged per scanned triplet and per vertex-program
+        invocation; algorithms use these to express how compute-heavy they
+        are relative to their communication.
+    always_active:
+        When ``True`` the computation behaves like GraphX's *static*
+        algorithms: every vertex stays active, the vertex program runs on
+        every vertex every superstep (vertices that received no message get
+        ``default_message``) and the loop runs exactly ``max_iterations``
+        supersteps.
+    default_message:
+        Message handed to vertices that received nothing when
+        ``always_active`` is set.
+    """
+    _check_direction(active_direction)
+    if max_iterations < 0:
+        raise EngineError("max_iterations must be non-negative")
+    missing = [v for v in pgraph.graph.vertex_ids.tolist() if v not in initial_values]
+    if missing:
+        raise EngineError(
+            f"initial_values is missing {len(missing)} vertices (e.g. {missing[:3]})"
+        )
+
+    cluster = cluster or paper_cluster()
+    model = CostModel(cluster, cost_parameters)
+    report = model.new_report()
+    report.load_seconds = model.load_seconds(pgraph.dataset_bytes)
+
+    values: Dict[int, Any] = dict(initial_values)
+    num_partitions = pgraph.num_partitions
+    edge_lists = _edge_lists(pgraph)
+
+    # ------------------------------------------------------------------
+    # Superstep 0: run the vertex program everywhere with the initial
+    # message, then materialise the replicated vertex view.
+    # ------------------------------------------------------------------
+    partition_units = [0.0] * num_partitions
+    routing = pgraph.routing
+    for vertex in values:
+        values[vertex] = vertex_program(vertex, values[vertex], initial_message)
+        master = routing.masters.get(vertex)
+        if master is not None:
+            partition_units[master] += vertex_compute_units
+    sync_remote, sync_local = _broadcast_updates(pgraph, cluster, values.keys(), partition_units)
+    model.record_superstep(
+        report,
+        superstep=0,
+        partition_units=partition_units,
+        messages_remote=sync_remote,
+        messages_local=sync_local,
+        active_vertices=len(values),
+        edges_scanned=0,
+    )
+
+    active = set(values.keys())
+    supersteps = 0
+
+    # ------------------------------------------------------------------
+    # Message-exchange supersteps.
+    # ------------------------------------------------------------------
+    while active and supersteps < max_iterations:
+        supersteps += 1
+        partition_units = [0.0] * num_partitions
+        outboxes: List[Dict[int, Any]] = [dict() for _ in range(num_partitions)]
+        edges_scanned = 0
+
+        for partition_id, edges in enumerate(edge_lists):
+            outbox = outboxes[partition_id]
+            units = 0.0
+            for src, dst in edges:
+                if active_direction == "either":
+                    is_active = src in active or dst in active
+                elif active_direction == "out":
+                    is_active = src in active
+                elif active_direction == "in":
+                    is_active = dst in active
+                else:  # both
+                    is_active = src in active and dst in active
+                if not is_active:
+                    continue
+                edges_scanned += 1
+                units += edge_compute_units
+                for target, message in send_message(src, values[src], dst, values[dst]):
+                    if target in outbox:
+                        outbox[target] = merge_message(outbox[target], message)
+                    else:
+                        outbox[target] = message
+            partition_units[partition_id] += units
+
+        merged, shuffle_remote, shuffle_local = _route_and_merge(
+            pgraph, cluster, outboxes, merge_message, partition_units
+        )
+
+        if not merged and not always_active:
+            # The scan itself still happened; account for it, then stop.
+            model.record_superstep(
+                report,
+                superstep=supersteps,
+                partition_units=partition_units,
+                messages_remote=shuffle_remote,
+                messages_local=shuffle_local,
+                active_vertices=0,
+                edges_scanned=edges_scanned,
+            )
+            active = set()
+            break
+
+        if always_active:
+            updated = list(values.keys())
+            for vertex in updated:
+                message = merged.get(vertex, default_message)
+                values[vertex] = vertex_program(vertex, values[vertex], message)
+                master = routing.masters.get(vertex)
+                if master is not None:
+                    partition_units[master] += vertex_compute_units
+        else:
+            updated = list(merged.keys())
+            for vertex in updated:
+                values[vertex] = vertex_program(vertex, values[vertex], merged[vertex])
+                master = routing.masters.get(vertex)
+                if master is not None:
+                    partition_units[master] += vertex_compute_units
+
+        sync_remote, sync_local = _broadcast_updates(pgraph, cluster, updated, partition_units)
+
+        model.record_superstep(
+            report,
+            superstep=supersteps,
+            partition_units=partition_units,
+            messages_remote=shuffle_remote + sync_remote,
+            messages_local=shuffle_local + sync_local,
+            active_vertices=len(updated),
+            edges_scanned=edges_scanned,
+        )
+        active = set(values.keys()) if always_active else set(merged.keys())
+
+    return PregelResult(
+        vertex_values=values,
+        num_supersteps=report.num_supersteps,
+        report=report,
+    )
+
+
+def aggregate_messages(
+    pgraph: PartitionedGraph,
+    vertex_values: Dict[int, Any],
+    send_message: SendMessage,
+    merge_message: MergeMessage,
+    cluster: Optional[ClusterConfig] = None,
+    cost_parameters: Optional[CostParameters] = None,
+    report: Optional[SimulationReport] = None,
+    edge_compute_units: float = 1.0,
+) -> Tuple[Dict[int, Any], SimulationReport]:
+    """One-shot ``aggregateMessages``: scan every triplet once and merge per target.
+
+    Used by algorithms that are not naturally iterative (degree computation,
+    neighbourhood collection for triangle counting).  When ``report`` is
+    given, the superstep is appended to it; otherwise a fresh report is
+    created.
+    """
+    cluster = cluster or paper_cluster()
+    model = CostModel(cluster, cost_parameters)
+    if report is None:
+        report = model.new_report()
+        report.load_seconds = model.load_seconds(pgraph.dataset_bytes)
+
+    num_partitions = pgraph.num_partitions
+    partition_units = [0.0] * num_partitions
+    outboxes: List[Dict[int, Any]] = [dict() for _ in range(num_partitions)]
+    edges_scanned = 0
+
+    for partition_id, partition in enumerate(pgraph.partitions):
+        outbox = outboxes[partition_id]
+        src_list, dst_list = partition.edge_pairs()
+        for src, dst in zip(src_list, dst_list):
+            edges_scanned += 1
+            partition_units[partition_id] += edge_compute_units
+            for target, message in send_message(
+                src, vertex_values.get(src), dst, vertex_values.get(dst)
+            ):
+                if target in outbox:
+                    outbox[target] = merge_message(outbox[target], message)
+                else:
+                    outbox[target] = message
+
+    merged, remote, local = _route_and_merge(
+        pgraph, cluster, outboxes, merge_message, partition_units
+    )
+    model.record_superstep(
+        report,
+        superstep=report.num_supersteps,
+        partition_units=partition_units,
+        messages_remote=remote,
+        messages_local=local,
+        active_vertices=len(merged),
+        edges_scanned=edges_scanned,
+    )
+    return merged, report

@@ -1,0 +1,62 @@
+"""Vertex routing tables: where the master and the replicas of a vertex live.
+
+GraphX keeps a routing table next to the vertex RDD describing which edge
+partitions hold a copy of every vertex; the BSP engine uses it both to ship
+aggregated messages to masters and to broadcast updated vertex state back
+to replicas.  The number of those broadcasts is exactly the paper's
+Communication Cost metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..metrics.partition_metrics import master_partition
+from ..partitioning.base import EdgePartitionAssignment
+
+__all__ = ["RoutingTable"]
+
+
+@dataclass
+class RoutingTable:
+    """Replica locations and master assignment for every vertex."""
+
+    num_partitions: int
+    replicas: Dict[int, Tuple[int, ...]]
+    masters: Dict[int, int]
+
+    @classmethod
+    def from_assignment(cls, assignment: EdgePartitionAssignment) -> "RoutingTable":
+        """Build the routing table implied by an edge partition assignment."""
+        num_partitions = assignment.num_partitions
+        replicas = {
+            vertex: tuple(sorted(parts))
+            for vertex, parts in assignment.vertex_partitions().items()
+        }
+        masters = {
+            vertex: master_partition(vertex, num_partitions) for vertex in replicas
+        }
+        return cls(num_partitions=num_partitions, replicas=replicas, masters=masters)
+
+    def replica_partitions(self, vertex: int) -> Tuple[int, ...]:
+        """Partitions that hold a copy of ``vertex`` (empty for isolated vertices)."""
+        return self.replicas.get(vertex, ())
+
+    def master_of(self, vertex: int) -> int:
+        """Partition that owns the master copy of ``vertex``."""
+        return self.masters[vertex]
+
+    def replication_count(self, vertex: int) -> int:
+        """Number of partitions holding a copy of ``vertex``."""
+        return len(self.replicas.get(vertex, ()))
+
+    def sync_message_count(self, vertex: int) -> int:
+        """Messages needed to push the master value of ``vertex`` to its replicas.
+
+        The master partition does not need to message itself, so the count
+        is the number of replica partitions different from the master.
+        """
+        master = self.masters.get(vertex)
+        parts = self.replicas.get(vertex, ())
+        return sum(1 for p in parts if p != master)

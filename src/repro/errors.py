@@ -1,0 +1,34 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch a single base class when they do not care about the
+specific failure mode.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphValidationError(ReproError):
+    """Raised when a graph or edge list fails structural validation."""
+
+
+class GraphIOError(ReproError):
+    """Raised when reading or writing a graph file fails."""
+
+
+class PartitioningError(ReproError):
+    """Raised when a partitioning strategy is misconfigured or misused."""
+
+
+class EngineError(ReproError):
+    """Raised when the BSP execution engine is misconfigured or fails."""
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset specification or generator is invalid."""
+
+
+class AnalysisError(ReproError):
+    """Raised when an experiment or analysis routine is misconfigured."""

@@ -1,0 +1,55 @@
+"""Tabulation helpers for partitioning metrics (Tables 2 and 3)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from .partition_metrics import PartitioningMetrics
+
+__all__ = ["format_table", "metrics_table_rows", "format_metrics_table"]
+
+
+def format_table(rows: Sequence[Dict[str, object]], columns: Sequence[str] = None) -> str:
+    """Render a list of dict rows as a fixed-width text table."""
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {col: len(str(col)) for col in columns}
+    for row in rows:
+        for col in columns:
+            widths[col] = max(widths[col], len(_fmt(row.get(col, ""))))
+    header = "  ".join(str(col).ljust(widths[col]) for col in columns)
+    separator = "  ".join("-" * widths[col] for col in columns)
+    lines = [header, separator]
+    for row in rows:
+        lines.append("  ".join(_fmt(row.get(col, "")).ljust(widths[col]) for col in columns))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:,.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def metrics_table_rows(
+    per_dataset: Dict[str, Iterable[PartitioningMetrics]],
+) -> List[Dict[str, object]]:
+    """Flatten ``{dataset: [metrics, ...]}`` into Table 2/3-style rows."""
+    rows: List[Dict[str, object]] = []
+    for dataset, metric_list in per_dataset.items():
+        for metrics in metric_list:
+            row = {"dataset": dataset}
+            row.update(metrics.as_row())
+            rows.append(row)
+    return rows
+
+
+def format_metrics_table(per_dataset: Dict[str, Iterable[PartitioningMetrics]]) -> str:
+    """Render Table 2/3 (dataset x partitioner metric rows) as text."""
+    rows = metrics_table_rows(per_dataset)
+    columns = ["dataset", "partitioner", "balance", "non_cut", "cut", "comm_cost", "part_stdev"]
+    return format_table(rows, columns)

@@ -1,0 +1,47 @@
+"""Vertex-cut edge-placement strategies (the paper's six plus extensions)."""
+
+from .base import EdgePartitionAssignment, PartitionStrategy
+from .greedy import DegreeBasedHashing, GreedyVertexCut, HdrfPartitioner
+from .hash_partitioners import (
+    CanonicalRandomVertexCut,
+    EdgePartition1D,
+    EdgePartition2D,
+    RandomVertexCut,
+)
+from .hashing import MIXING_PRIME, hash_pair, mix64
+from .hybrid import HybridCut
+from .modulo_partitioners import DestinationCut, SourceCut
+from .registry import (
+    EXTENSION_PARTITIONER_NAMES,
+    PAPER_PARTITIONER_NAMES,
+    available_partitioners,
+    extension_partitioners,
+    make_partitioner,
+    paper_partitioners,
+)
+from .streaming import FennelEdgePartitioner
+
+__all__ = [
+    "EdgePartitionAssignment",
+    "PartitionStrategy",
+    "RandomVertexCut",
+    "CanonicalRandomVertexCut",
+    "EdgePartition1D",
+    "EdgePartition2D",
+    "SourceCut",
+    "DestinationCut",
+    "DegreeBasedHashing",
+    "GreedyVertexCut",
+    "HdrfPartitioner",
+    "FennelEdgePartitioner",
+    "HybridCut",
+    "MIXING_PRIME",
+    "hash_pair",
+    "mix64",
+    "PAPER_PARTITIONER_NAMES",
+    "EXTENSION_PARTITIONER_NAMES",
+    "available_partitioners",
+    "extension_partitioners",
+    "make_partitioner",
+    "paper_partitioners",
+]

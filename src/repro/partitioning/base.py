@@ -1,0 +1,128 @@
+"""Partitioning strategy interface and the assignment result object.
+
+A partitioning strategy maps every edge of a graph to one of ``N``
+partitions (a *vertex cut*: vertices that have edges in several partitions
+are replicated, exactly as in GraphX).  Strategies are pure functions of
+the edge endpoints and the partition count unless documented otherwise.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..core.graph import Graph
+from ..core.validation import require_positive_partitions
+from ..errors import PartitioningError
+
+__all__ = ["PartitionStrategy", "EdgePartitionAssignment"]
+
+
+@dataclass
+class EdgePartitionAssignment:
+    """The result of partitioning a graph's edges.
+
+    Attributes
+    ----------
+    graph:
+        The graph that was partitioned.
+    num_partitions:
+        Number of partitions requested.
+    partition_of:
+        ``int64`` array of length ``graph.num_edges``; entry ``i`` is the
+        partition id of edge ``i``.
+    strategy_name:
+        Name of the strategy that produced this assignment.
+    """
+
+    graph: Graph
+    num_partitions: int
+    partition_of: np.ndarray
+    strategy_name: str = ""
+    _vertex_partitions: Dict[int, frozenset] = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.partition_of = np.asarray(self.partition_of, dtype=np.int64)
+        if self.partition_of.shape[0] != self.graph.num_edges:
+            raise PartitioningError(
+                "partition_of must have one entry per edge "
+                f"({self.partition_of.shape[0]} != {self.graph.num_edges})"
+            )
+        if self.partition_of.size:
+            low, high = int(self.partition_of.min()), int(self.partition_of.max())
+            if low < 0 or high >= self.num_partitions:
+                raise PartitioningError(
+                    f"partition ids must be in [0, {self.num_partitions}), got [{low}, {high}]"
+                )
+
+    # ------------------------------------------------------------------
+    def edges_per_partition(self) -> np.ndarray:
+        """Number of edges assigned to each partition (length ``num_partitions``)."""
+        return np.bincount(self.partition_of, minlength=self.num_partitions).astype(np.int64)
+
+    def edge_ids_of_partition(self, partition_id: int) -> np.ndarray:
+        """Indices of the edges placed in ``partition_id``."""
+        return np.nonzero(self.partition_of == partition_id)[0]
+
+    def vertex_partitions(self) -> Dict[int, frozenset]:
+        """Map every vertex to the set of partitions that contain a copy of it.
+
+        A vertex is present in a partition whenever at least one of its
+        edges is assigned there.  Isolated vertices map to an empty set.
+        The result is cached because the metric computations and the
+        routing tables of the engine both need it.
+        """
+        if self._vertex_partitions is not None:
+            return self._vertex_partitions
+        membership: Dict[int, set] = {int(v): set() for v in self.graph.vertex_ids.tolist()}
+        src = self.graph.src.tolist()
+        dst = self.graph.dst.tolist()
+        parts = self.partition_of.tolist()
+        for s, d, p in zip(src, dst, parts):
+            membership[s].add(p)
+            membership[d].add(p)
+        self._vertex_partitions = {v: frozenset(ps) for v, ps in membership.items()}
+        return self._vertex_partitions
+
+    def replication_counts(self) -> Dict[int, int]:
+        """Map every vertex to its number of copies across partitions."""
+        return {v: len(parts) for v, parts in self.vertex_partitions().items()}
+
+
+class PartitionStrategy(abc.ABC):
+    """Base class for all edge-placement (vertex-cut) strategies."""
+
+    #: Short name used in tables and the registry (e.g. ``"RVC"``).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def partition_edge(self, src: int, dst: int, num_partitions: int) -> int:
+        """Return the partition id for one edge ``src -> dst``."""
+
+    def assign_array(self, src: np.ndarray, dst: np.ndarray, num_partitions: int) -> np.ndarray:
+        """Vectorised edge placement; the default falls back to the scalar method."""
+        return np.fromiter(
+            (self.partition_edge(int(s), int(d), num_partitions) for s, d in zip(src, dst)),
+            dtype=np.int64,
+            count=len(src),
+        )
+
+    def assign(self, graph: Graph, num_partitions: int) -> EdgePartitionAssignment:
+        """Partition all edges of ``graph`` into ``num_partitions`` parts."""
+        require_positive_partitions(num_partitions)
+        if graph.num_edges == 0:
+            placement = np.empty(0, dtype=np.int64)
+        else:
+            placement = self.assign_array(graph.src, graph.dst, num_partitions)
+        return EdgePartitionAssignment(
+            graph=graph,
+            num_partitions=num_partitions,
+            partition_of=placement,
+            strategy_name=self.name,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

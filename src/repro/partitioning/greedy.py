@@ -1,0 +1,176 @@
+"""Degree- and state-aware vertex-cut strategies (extension partitioners).
+
+These are not part of the paper's six strategies; they come from the
+related-work space the paper cites (PowerGraph's greedy placement, DBH,
+HDRF) and are used by the ablation benchmark to quantify how much headroom
+a smarter, non-hash partitioner has over the paper's best pick.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+import numpy as np
+
+from ..core.graph import Graph
+from ..core.validation import require_positive_partitions
+from .base import EdgePartitionAssignment, PartitionStrategy
+from .hashing import mix64
+
+__all__ = ["DegreeBasedHashing", "GreedyVertexCut", "HdrfPartitioner"]
+
+
+class DegreeBasedHashing(PartitionStrategy):
+    """Degree-Based Hashing (DBH): hash the lower-degree endpoint of each edge.
+
+    High-degree "superstar" vertices get cut (replicated) while low-degree
+    vertices stay whole, which lowers the total replication factor on
+    power-law graphs compared to RVC.
+    """
+
+    name = "DBH"
+
+    def __init__(self) -> None:
+        self._degrees: Dict[int, int] = {}
+
+    def partition_edge(self, src: int, dst: int, num_partitions: int) -> int:
+        deg_src = self._degrees.get(src, 0)
+        deg_dst = self._degrees.get(dst, 0)
+        anchor = src if deg_src <= deg_dst else dst
+        return int(mix64(anchor) % np.uint64(num_partitions))
+
+    def assign(self, graph: Graph, num_partitions: int) -> EdgePartitionAssignment:
+        require_positive_partitions(num_partitions)
+        self._degrees = graph.degrees()
+        assignment = super().assign(graph, num_partitions)
+        self._degrees = {}
+        return assignment
+
+
+class GreedyVertexCut(PartitionStrategy):
+    """PowerGraph-style greedy ("oblivious") streaming vertex cut.
+
+    Edges are processed in order; each edge goes to a partition chosen by
+    the classic greedy rules, subject to a capacity cap that keeps the
+    partitions balanced:
+
+    1. if both endpoints already live in a common (non-full) partition,
+       pick the least loaded of those;
+    2. else if one endpoint is placed in a non-full partition, pick its
+       least loaded partition;
+    3. else pick the globally least loaded partition.
+
+    A partition is "full" once it holds ``balance_slack`` times its fair
+    share of edges; full partitions are skipped so the affinity rules
+    cannot collapse the whole graph into one partition.
+    """
+
+    name = "Greedy"
+
+    def __init__(self, balance_slack: float = 1.1) -> None:
+        if balance_slack < 1.0:
+            raise ValueError("balance_slack must be >= 1.0")
+        self.balance_slack = balance_slack
+
+    def partition_edge(self, src: int, dst: int, num_partitions: int) -> int:
+        raise NotImplementedError(
+            "GreedyVertexCut is stateful; use assign() on a whole graph instead"
+        )
+
+    def assign(self, graph: Graph, num_partitions: int) -> EdgePartitionAssignment:
+        require_positive_partitions(num_partitions)
+        loads = np.zeros(num_partitions, dtype=np.int64)
+        capacity = max(1.0, self.balance_slack * graph.num_edges / num_partitions)
+        where: Dict[int, Set[int]] = {}
+        placement = np.empty(graph.num_edges, dtype=np.int64)
+        for index, (src, dst) in enumerate(graph.edge_pairs()):
+            parts_src = where.get(src, set())
+            parts_dst = where.get(dst, set())
+            common = {p for p in parts_src & parts_dst if loads[p] < capacity}
+            either = {p for p in parts_src | parts_dst if loads[p] < capacity}
+            if common:
+                candidates = common
+            elif either:
+                candidates = either
+            else:
+                candidates = set(range(num_partitions))
+            choice = min(candidates, key=lambda p: (loads[p], p))
+            placement[index] = choice
+            loads[choice] += 1
+            where.setdefault(src, set()).add(choice)
+            where.setdefault(dst, set()).add(choice)
+        return EdgePartitionAssignment(
+            graph=graph,
+            num_partitions=num_partitions,
+            partition_of=placement,
+            strategy_name=self.name,
+        )
+
+
+class HdrfPartitioner(PartitionStrategy):
+    """High-Degree (are) Replicated First (HDRF) streaming vertex cut.
+
+    Scores every partition for every incoming edge with the standard HDRF
+    objective ``C_rep(p) + lambda * C_bal(p)`` where the replication term
+    prefers partitions that already hold an endpoint (weighted toward
+    replicating the higher-degree endpoint) and the balance term penalises
+    loaded partitions.
+    """
+
+    name = "HDRF"
+
+    def __init__(self, balance_weight: float = 1.0) -> None:
+        if balance_weight < 0:
+            raise ValueError("balance_weight must be non-negative")
+        self.balance_weight = balance_weight
+
+    def partition_edge(self, src: int, dst: int, num_partitions: int) -> int:
+        raise NotImplementedError(
+            "HdrfPartitioner is stateful; use assign() on a whole graph instead"
+        )
+
+    def assign(self, graph: Graph, num_partitions: int) -> EdgePartitionAssignment:
+        require_positive_partitions(num_partitions)
+        loads = np.zeros(num_partitions, dtype=np.float64)
+        partial_degree: Dict[int, int] = {}
+        where: Dict[int, Set[int]] = {}
+        placement = np.empty(graph.num_edges, dtype=np.int64)
+
+        for index, (src, dst) in enumerate(graph.edge_pairs()):
+            partial_degree[src] = partial_degree.get(src, 0) + 1
+            partial_degree[dst] = partial_degree.get(dst, 0) + 1
+            deg_src = partial_degree[src]
+            deg_dst = partial_degree[dst]
+            total = deg_src + deg_dst
+            theta_src = deg_src / total
+            theta_dst = deg_dst / total
+            max_load = loads.max()
+            min_load = loads.min()
+            spread = (max_load - min_load) + 1.0
+
+            best_part = 0
+            best_score = -np.inf
+            parts_src = where.get(src, set())
+            parts_dst = where.get(dst, set())
+            for part in range(num_partitions):
+                rep = 0.0
+                if part in parts_src:
+                    rep += 1.0 + (1.0 - theta_src)
+                if part in parts_dst:
+                    rep += 1.0 + (1.0 - theta_dst)
+                bal = self.balance_weight * (max_load - loads[part]) / spread
+                score = rep + bal
+                if score > best_score:
+                    best_score = score
+                    best_part = part
+            placement[index] = best_part
+            loads[best_part] += 1.0
+            where.setdefault(src, set()).add(best_part)
+            where.setdefault(dst, set()).add(best_part)
+
+        return EdgePartitionAssignment(
+            graph=graph,
+            num_partitions=num_partitions,
+            partition_of=placement,
+            strategy_name=self.name,
+        )

@@ -1,0 +1,116 @@
+"""The four GraphX hash-based partitioners evaluated in the paper.
+
+* :class:`RandomVertexCut` (RVC) hashes the ordered ``(src, dst)`` pair, so
+  all same-direction parallel edges land in the same partition.
+* :class:`CanonicalRandomVertexCut` (CRVC) hashes the pair in a canonical
+  order, so ``(u, v)`` and ``(v, u)`` always land together.
+* :class:`EdgePartition1D` (1D) hashes only the source, collocating each
+  vertex's out-edges.
+* :class:`EdgePartition2D` (2D) arranges partitions in a
+  ``ceil(sqrt(N)) x ceil(sqrt(N))`` grid and picks the cell from the source
+  (column) and destination (row) hashes, bounding vertex replication by
+  ``2 * sqrt(N)`` when ``N`` is a perfect square.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .base import PartitionStrategy
+from .hashing import hash_pair, mix64
+
+__all__ = [
+    "RandomVertexCut",
+    "CanonicalRandomVertexCut",
+    "EdgePartition1D",
+    "EdgePartition2D",
+]
+
+
+class RandomVertexCut(PartitionStrategy):
+    """Assign an edge by hashing the ordered ``(src, dst)`` pair (GraphX RVC)."""
+
+    name = "RVC"
+
+    def partition_edge(self, src: int, dst: int, num_partitions: int) -> int:
+        return int(hash_pair(src, dst) % np.uint64(num_partitions))
+
+    def assign_array(self, src: np.ndarray, dst: np.ndarray, num_partitions: int) -> np.ndarray:
+        return (hash_pair(src, dst) % np.uint64(num_partitions)).astype(np.int64)
+
+
+class CanonicalRandomVertexCut(PartitionStrategy):
+    """Assign an edge by hashing the endpoint pair in canonical order (GraphX CRVC).
+
+    Both directions of an edge between ``u`` and ``v`` are guaranteed to be
+    collocated, which halves the replication caused by reciprocated edges.
+    """
+
+    name = "CRVC"
+
+    def partition_edge(self, src: int, dst: int, num_partitions: int) -> int:
+        lo, hi = (src, dst) if src < dst else (dst, src)
+        return int(hash_pair(lo, hi) % np.uint64(num_partitions))
+
+    def assign_array(self, src: np.ndarray, dst: np.ndarray, num_partitions: int) -> np.ndarray:
+        lo = np.minimum(src, dst)
+        hi = np.maximum(src, dst)
+        return (hash_pair(lo, hi) % np.uint64(num_partitions)).astype(np.int64)
+
+
+class EdgePartition1D(PartitionStrategy):
+    """Assign an edge by hashing only its source vertex (GraphX EdgePartition1D).
+
+    All out-edges of a vertex are collocated; highly skewed out-degree
+    distributions therefore produce imbalanced partitions, exactly the
+    behaviour Tables 2-3 of the paper show for the "follow" graphs.
+    """
+
+    name = "1D"
+
+    def partition_edge(self, src: int, dst: int, num_partitions: int) -> int:
+        return int(mix64(src) % np.uint64(num_partitions))
+
+    def assign_array(self, src: np.ndarray, dst: np.ndarray, num_partitions: int) -> np.ndarray:
+        return (mix64(src) % np.uint64(num_partitions)).astype(np.int64)
+
+
+class EdgePartition2D(PartitionStrategy):
+    """Grid-based partitioner bounding replication by ``2 * sqrt(N)`` (GraphX 2D).
+
+    Partitions are laid out on a ``ceil(sqrt(N))``-sided square matrix; the
+    column is chosen by the source hash and the row by the destination
+    hash.  When ``N`` is not a perfect square the grid index is folded back
+    into ``[0, N)`` with a modulo, which can create imbalance — the paper
+    calls this out explicitly.
+    """
+
+    name = "2D"
+
+    @staticmethod
+    def _grid_side(num_partitions: int) -> int:
+        return int(math.ceil(math.sqrt(num_partitions)))
+
+    def partition_edge(self, src: int, dst: int, num_partitions: int) -> int:
+        side = self._grid_side(num_partitions)
+        col = int(mix64(src) % np.uint64(side))
+        row = int(mix64(dst) % np.uint64(side))
+        return (col * side + row) % num_partitions
+
+    def assign_array(self, src: np.ndarray, dst: np.ndarray, num_partitions: int) -> np.ndarray:
+        side = self._grid_side(num_partitions)
+        col = (mix64(src) % np.uint64(side)).astype(np.int64)
+        row = (mix64(dst) % np.uint64(side)).astype(np.int64)
+        return ((col * side + row) % num_partitions).astype(np.int64)
+
+    def max_replication(self, num_partitions: int) -> int:
+        """Upper bound on the number of copies of any vertex.
+
+        For a perfect-square partition count this is ``2 * sqrt(N) - 1``
+        (one row plus one column of the grid); otherwise the bound uses the
+        next-larger grid side.
+        """
+        side = self._grid_side(num_partitions)
+        return 2 * side - 1

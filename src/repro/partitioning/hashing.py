@@ -1,0 +1,45 @@
+"""Deterministic 64-bit hashing used by the hash-based partitioners.
+
+GraphX's partitioners rely on Scala's ``hashCode`` mixed with a large
+prime.  We use the splitmix64 finaliser instead: it is deterministic,
+platform independent, cheap to vectorise with numpy, and gives uniform
+placement, which is all the paper's strategies require.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = ["MIXING_PRIME", "mix64", "hash_pair"]
+
+#: The mixing prime GraphX uses in its ``PartitionStrategy`` implementations.
+MIXING_PRIME = np.uint64(1125899906842597)
+
+_MASK = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def mix64(values: Union[int, np.ndarray]) -> np.ndarray:
+    """Apply the splitmix64 finaliser to an integer or array of integers."""
+    x = np.asarray(values, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        x = (x + np.uint64(0x9E3779B97F4A7C15)) & _MASK
+        x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9) & _MASK
+        x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB) & _MASK
+        x = x ^ (x >> np.uint64(31))
+    return x
+
+
+def hash_pair(first: Union[int, np.ndarray], second: Union[int, np.ndarray]) -> np.ndarray:
+    """Hash a pair of vertex ids into a single 64-bit value.
+
+    The combination is order sensitive: ``hash_pair(u, v)`` differs from
+    ``hash_pair(v, u)`` in general, which is exactly what distinguishes the
+    RandomVertexCut from the CanonicalRandomVertexCut strategy.
+    """
+    a = np.asarray(first, dtype=np.uint64)
+    b = np.asarray(second, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        combined = (mix64(a) * MIXING_PRIME + mix64(b)) & _MASK
+    return mix64(combined)

@@ -1,0 +1,40 @@
+"""The two partitioners proposed by the paper: SourceCut and DestinationCut.
+
+Both replace the uniform hash of EdgePartition1D with a plain modulo on the
+raw vertex id.  When vertex ids encode locality (road networks numbered by
+geography, crawl order, community id, ...) the modulo keeps nearby vertices
+together at the cost of worse load balance — the trade-off Section 3 of the
+paper describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import PartitionStrategy
+
+__all__ = ["SourceCut", "DestinationCut"]
+
+
+class SourceCut(PartitionStrategy):
+    """Assign each edge to ``src % num_partitions`` (paper's SC strategy)."""
+
+    name = "SC"
+
+    def partition_edge(self, src: int, dst: int, num_partitions: int) -> int:
+        return int(src % num_partitions)
+
+    def assign_array(self, src: np.ndarray, dst: np.ndarray, num_partitions: int) -> np.ndarray:
+        return (src % num_partitions).astype(np.int64)
+
+
+class DestinationCut(PartitionStrategy):
+    """Assign each edge to ``dst % num_partitions`` (paper's DC strategy)."""
+
+    name = "DC"
+
+    def partition_edge(self, src: int, dst: int, num_partitions: int) -> int:
+        return int(dst % num_partitions)
+
+    def assign_array(self, src: np.ndarray, dst: np.ndarray, num_partitions: int) -> np.ndarray:
+        return (dst % num_partitions).astype(np.int64)

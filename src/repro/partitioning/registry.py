@@ -1,0 +1,77 @@
+"""Name-based registry of partitioning strategies.
+
+``PAPER_PARTITIONER_NAMES`` preserves the order the paper uses in
+Tables 2-3 (RVC, 1D, 2D, CRVC, SC, DC); ``EXTENSION_PARTITIONER_NAMES``
+lists the ablation strategies this reproduction adds on top.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..errors import PartitioningError
+from .base import PartitionStrategy
+from .greedy import DegreeBasedHashing, GreedyVertexCut, HdrfPartitioner
+from .hash_partitioners import (
+    CanonicalRandomVertexCut,
+    EdgePartition1D,
+    EdgePartition2D,
+    RandomVertexCut,
+)
+from .hybrid import HybridCut
+from .modulo_partitioners import DestinationCut, SourceCut
+from .streaming import FennelEdgePartitioner
+
+__all__ = [
+    "PAPER_PARTITIONER_NAMES",
+    "EXTENSION_PARTITIONER_NAMES",
+    "available_partitioners",
+    "make_partitioner",
+    "paper_partitioners",
+    "extension_partitioners",
+]
+
+_FACTORIES: Dict[str, Callable[[], PartitionStrategy]] = {
+    "RVC": RandomVertexCut,
+    "1D": EdgePartition1D,
+    "2D": EdgePartition2D,
+    "CRVC": CanonicalRandomVertexCut,
+    "SC": SourceCut,
+    "DC": DestinationCut,
+    "DBH": DegreeBasedHashing,
+    "Greedy": GreedyVertexCut,
+    "HDRF": HdrfPartitioner,
+    "Fennel": FennelEdgePartitioner,
+    "Hybrid": HybridCut,
+}
+
+#: The six strategies evaluated by the paper, in Table 2/3 order.
+PAPER_PARTITIONER_NAMES: List[str] = ["RVC", "1D", "2D", "CRVC", "SC", "DC"]
+
+#: Additional strategies implemented for the ablation study.
+EXTENSION_PARTITIONER_NAMES: List[str] = ["DBH", "Greedy", "HDRF", "Fennel", "Hybrid"]
+
+
+def available_partitioners() -> List[str]:
+    """Names of every registered strategy."""
+    return list(_FACTORIES)
+
+
+def make_partitioner(name: str) -> PartitionStrategy:
+    """Instantiate a strategy by name (case-insensitive)."""
+    for key, factory in _FACTORIES.items():
+        if key.lower() == name.lower():
+            return factory()
+    raise PartitioningError(
+        f"unknown partitioner {name!r}; available: {', '.join(_FACTORIES)}"
+    )
+
+
+def paper_partitioners() -> List[PartitionStrategy]:
+    """Fresh instances of the paper's six strategies, in Table 2/3 order."""
+    return [make_partitioner(name) for name in PAPER_PARTITIONER_NAMES]
+
+
+def extension_partitioners() -> List[PartitionStrategy]:
+    """Fresh instances of the ablation strategies."""
+    return [make_partitioner(name) for name in EXTENSION_PARTITIONER_NAMES]

@@ -1,0 +1,73 @@
+"""Correctness and accounting tests for Connected Components."""
+
+import networkx as nx
+import pytest
+
+from repro.algorithms.connected_components import connected_components
+from repro.engine.partitioned_graph import PartitionedGraph
+
+
+def _nx_component_labels(graph):
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(graph.vertex_ids.tolist())
+    nx_graph.add_edges_from(graph.edge_pairs())
+    labels = {}
+    for component in nx.connected_components(nx_graph):
+        label = min(component)
+        for vertex in component:
+            labels[vertex] = label
+    return labels
+
+
+class TestConnectedComponentsCorrectness:
+    def test_matches_networkx_on_social_graph(self, small_social_graph):
+        pgraph = PartitionedGraph.partition(small_social_graph, "CRVC", 8)
+        result = connected_components(pgraph)
+        assert result.vertex_values == _nx_component_labels(small_social_graph)
+
+    def test_matches_networkx_on_road_graph(self, small_road_graph):
+        pgraph = PartitionedGraph.partition(small_road_graph, "SC", 6)
+        result = connected_components(pgraph)
+        assert result.vertex_values == _nx_component_labels(small_road_graph)
+
+    def test_two_components_get_two_labels(self, two_component_graph):
+        pgraph = PartitionedGraph.partition(two_component_graph, "RVC", 3)
+        result = connected_components(pgraph)
+        assert set(result.vertex_values.values()) == {0, 10}
+
+    def test_labels_are_component_minima(self, clique_ring_graph):
+        pgraph = PartitionedGraph.partition(clique_ring_graph, "1D", 4)
+        result = connected_components(pgraph)
+        assert set(result.vertex_values.values()) == {0}
+
+    def test_result_is_partitioning_invariant(self, small_social_graph):
+        labels = [
+            connected_components(
+                PartitionedGraph.partition(small_social_graph, strategy, 8)
+            ).vertex_values
+            for strategy in ("RVC", "2D", "SC")
+        ]
+        assert labels[0] == labels[1] == labels[2]
+
+
+class TestConnectedComponentsBehaviour:
+    def test_iteration_cap_limits_supersteps(self):
+        from repro.core.graph import Graph
+
+        chain = Graph(list(range(20)), list(range(1, 21)))
+        pgraph = PartitionedGraph.partition(chain, "RVC", 4)
+        capped = connected_components(pgraph, max_iterations=3)
+        converged = connected_components(pgraph)
+        assert capped.num_supersteps < converged.num_supersteps
+        assert set(capped.vertex_values.values()) != {0}
+        assert set(converged.vertex_values.values()) == {0}
+
+    def test_active_set_shrinks(self, partitioned_social):
+        result = connected_components(partitioned_social)
+        actives = [r.active_vertices for r in result.report.supersteps]
+        assert actives[-1] < actives[0]
+
+    def test_algorithm_name_and_time(self, partitioned_social):
+        result = connected_components(partitioned_social, max_iterations=10)
+        assert result.algorithm == "ConnectedComponents"
+        assert result.simulated_seconds > 0

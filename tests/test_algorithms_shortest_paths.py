@@ -1,0 +1,103 @@
+"""Correctness and accounting tests for SSSP / landmark shortest paths."""
+
+import networkx as nx
+import pytest
+
+from repro.algorithms.shortest_paths import choose_landmarks, shortest_paths
+from repro.core.graph import Graph
+from repro.engine.partitioned_graph import PartitionedGraph
+from repro.errors import EngineError
+
+
+def _nx_distances_to(graph, landmark):
+    """Hop distance from every vertex TO the landmark along edge direction."""
+    nx_graph = nx.DiGraph()
+    nx_graph.add_nodes_from(graph.vertex_ids.tolist())
+    nx_graph.add_edges_from(graph.edge_pairs())
+    reversed_graph = nx_graph.reverse()
+    return nx.single_source_shortest_path_length(reversed_graph, landmark)
+
+
+class TestShortestPathsCorrectness:
+    def test_chain_distances(self):
+        graph = Graph([0, 1, 2], [1, 2, 3])
+        pgraph = PartitionedGraph.partition(graph, "RVC", 2)
+        result = shortest_paths(pgraph, landmarks=[3])
+        assert result.vertex_values[0] == {3: 3}
+        assert result.vertex_values[1] == {3: 2}
+        assert result.vertex_values[2] == {3: 1}
+        assert result.vertex_values[3] == {3: 0}
+
+    def test_unreachable_vertices_have_empty_maps(self, two_component_graph):
+        pgraph = PartitionedGraph.partition(two_component_graph, "RVC", 2)
+        result = shortest_paths(pgraph, landmarks=[0])
+        assert result.vertex_values[10] == {}
+        assert result.vertex_values[11] == {}
+
+    def test_matches_networkx_for_single_landmark(self, small_social_graph):
+        landmark = choose_landmarks(small_social_graph, count=1, seed=3)[0]
+        pgraph = PartitionedGraph.partition(small_social_graph, "CRVC", 8)
+        result = shortest_paths(pgraph, landmarks=[landmark])
+        expected = _nx_distances_to(small_social_graph, landmark)
+        for vertex, value in result.vertex_values.items():
+            if vertex in expected:
+                assert value.get(landmark) == expected[vertex]
+            else:
+                assert landmark not in value
+
+    def test_multiple_landmarks(self, small_social_graph):
+        landmarks = choose_landmarks(small_social_graph, count=3, seed=5)
+        pgraph = PartitionedGraph.partition(small_social_graph, "2D", 8)
+        result = shortest_paths(pgraph, landmarks=landmarks)
+        for landmark in landmarks:
+            assert result.vertex_values[landmark][landmark] == 0
+            expected = _nx_distances_to(small_social_graph, landmark)
+            for vertex, value in result.vertex_values.items():
+                assert value.get(landmark) == expected.get(vertex)
+
+    def test_result_is_partitioning_invariant(self, small_social_graph):
+        landmarks = choose_landmarks(small_social_graph, count=2, seed=9)
+        maps = [
+            shortest_paths(
+                PartitionedGraph.partition(small_social_graph, strategy, 8), landmarks
+            ).vertex_values
+            for strategy in ("RVC", "DC")
+        ]
+        assert maps[0] == maps[1]
+
+
+class TestShortestPathsValidation:
+    def test_empty_landmarks_rejected(self, partitioned_social):
+        with pytest.raises(EngineError):
+            shortest_paths(partitioned_social, landmarks=[])
+
+    def test_unknown_landmark_rejected(self, partitioned_social):
+        with pytest.raises(EngineError, match="not present"):
+            shortest_paths(partitioned_social, landmarks=[10**9])
+
+    def test_choose_landmarks_deterministic_and_valid(self, small_social_graph):
+        first = choose_landmarks(small_social_graph, count=5, seed=7)
+        second = choose_landmarks(small_social_graph, count=5, seed=7)
+        assert first == second
+        assert len(first) == 5
+        vertex_set = set(small_social_graph.vertex_ids.tolist())
+        assert all(v in vertex_set for v in first)
+
+    def test_choose_landmarks_caps_at_vertex_count(self, triangle_graph):
+        assert len(choose_landmarks(triangle_graph, count=10)) == 3
+
+    def test_choose_landmarks_empty_graph_rejected(self):
+        with pytest.raises(EngineError):
+            choose_landmarks(Graph([], []), count=2)
+
+
+class TestShortestPathsAccounting:
+    def test_supersteps_bounded_by_reachability_depth(self):
+        graph = Graph([0, 1, 2, 3], [1, 2, 3, 4])
+        pgraph = PartitionedGraph.partition(graph, "RVC", 2)
+        result = shortest_paths(pgraph, landmarks=[4])
+        # Distance information needs 4 hops to reach vertex 0, plus the
+        # final empty round and the initial superstep.
+        assert result.num_supersteps <= 7
+        assert result.simulated_seconds > 0
+        assert result.algorithm == "ShortestPaths"

@@ -1,0 +1,155 @@
+"""Tests for the experiment harness (partitioning study, algorithm study, infrastructure)."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    ExperimentConfig,
+    run_algorithm_study,
+    run_infrastructure_study,
+    run_partitioning_study,
+)
+from repro.analysis.results import best_partitioner_per_dataset
+from repro.datasets.generators import social_graph
+from repro.errors import AnalysisError
+
+DATASETS = ["youtube", "pocek"]
+SCALE = 0.08
+SEED = 4
+
+
+class TestExperimentConfig:
+    def test_defaults_cover_paper_setup(self):
+        config = ExperimentConfig(algorithm="PR")
+        assert config.num_partitions == 128
+        assert len(config.datasets) == 9
+        assert config.partitioners == ["RVC", "1D", "2D", "CRVC", "SC", "DC"]
+        assert config.num_iterations == 10
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_partitions": 0},
+            {"scale": 0.0},
+            {"num_iterations": 0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(AnalysisError):
+            ExperimentConfig(algorithm="PR", **kwargs)
+
+
+class TestPartitioningStudy:
+    def test_table_shape(self):
+        table = run_partitioning_study(
+            num_partitions=8, datasets=DATASETS, scale=SCALE, seed=SEED
+        )
+        assert list(table) == DATASETS
+        for rows in table.values():
+            assert [m.strategy for m in rows] == ["RVC", "1D", "2D", "CRVC", "SC", "DC"]
+            for metrics in rows:
+                assert metrics.num_partitions == 8
+                assert metrics.comm_cost + metrics.non_cut == metrics.total_replicas
+
+    def test_accepts_pre_built_graphs(self, small_social_graph):
+        table = run_partitioning_study(
+            num_partitions=4,
+            datasets=["custom"],
+            partitioners=["RVC", "2D"],
+            graphs={"custom": small_social_graph},
+        )
+        assert list(table) == ["custom"]
+        assert len(table["custom"]) == 2
+
+    def test_missing_graph_rejected(self, small_social_graph):
+        with pytest.raises(AnalysisError):
+            run_partitioning_study(
+                num_partitions=4, datasets=["a", "b"], graphs={"a": small_social_graph}
+            )
+
+    def test_finer_granularity_does_not_decrease_comm_cost(self):
+        coarse = run_partitioning_study(num_partitions=8, datasets=["pocek"], scale=SCALE, seed=SEED)
+        fine = run_partitioning_study(num_partitions=32, datasets=["pocek"], scale=SCALE, seed=SEED)
+        for coarse_metrics, fine_metrics in zip(coarse["pocek"], fine["pocek"]):
+            assert fine_metrics.comm_cost >= coarse_metrics.comm_cost
+
+
+class TestAlgorithmStudy:
+    @pytest.fixture(scope="class")
+    def pr_records(self):
+        config = ExperimentConfig(
+            algorithm="PR",
+            num_partitions=8,
+            datasets=DATASETS,
+            partitioners=["RVC", "2D", "DC"],
+            scale=SCALE,
+            seed=SEED,
+            num_iterations=3,
+        )
+        return run_algorithm_study(config)
+
+    def test_one_record_per_dataset_partitioner_pair(self, pr_records):
+        assert len(pr_records) == len(DATASETS) * 3
+        keys = {(r.dataset, r.partitioner) for r in pr_records}
+        assert len(keys) == len(pr_records)
+
+    def test_records_carry_metrics_and_time(self, pr_records):
+        for record in pr_records:
+            assert record.simulated_seconds > 0
+            assert record.metrics.comm_cost > 0
+            assert record.algorithm == "PR"
+            assert record.num_partitions == 8
+
+    def test_best_partitioner_extractable(self, pr_records):
+        best = best_partitioner_per_dataset(pr_records)
+        assert set(best) == set(DATASETS)
+        assert all(p in {"RVC", "2D", "DC"} for p in best.values())
+
+    def test_sssp_study_runs(self):
+        config = ExperimentConfig(
+            algorithm="SSSP",
+            num_partitions=6,
+            datasets=["youtube"],
+            partitioners=["2D"],
+            scale=SCALE,
+            seed=SEED,
+            landmark_count=2,
+        )
+        records = run_algorithm_study(config)
+        assert len(records) == 1
+        assert records[0].algorithm == "SSSP"
+
+    def test_uses_supplied_graphs_without_regenerating(self):
+        graph = social_graph(num_vertices=80, num_edges=300, seed=1, name="custom")
+        config = ExperimentConfig(
+            algorithm="CC",
+            num_partitions=4,
+            datasets=["custom"],
+            partitioners=["RVC"],
+            num_iterations=5,
+        )
+        records = run_algorithm_study(config, graphs={"custom": graph})
+        assert records[0].dataset == "custom"
+        assert records[0].metrics.num_edges == graph.num_edges
+
+
+class TestInfrastructureStudy:
+    def test_faster_infrastructure_reduces_simulated_time(self):
+        results = run_infrastructure_study(
+            dataset="pocek",
+            partitioner="2D",
+            num_partitions=16,
+            scale=SCALE,
+            seed=SEED,
+            num_iterations=3,
+        )
+        assert [r.label.split()[0] for r in results] == ["config-ii", "config-iii", "config-iv"]
+        baseline, fast_network, fast_storage = results
+        assert fast_network.simulated_seconds < baseline.simulated_seconds
+        assert fast_storage.simulated_seconds <= fast_network.simulated_seconds
+        assert 0.0 < fast_network.speedup_vs(baseline) < 1.0
+
+    def test_speedup_vs_self_is_zero(self):
+        results = run_infrastructure_study(
+            dataset="youtube", num_partitions=8, scale=SCALE, seed=SEED, num_iterations=2
+        )
+        assert results[0].speedup_vs(results[0]) == pytest.approx(0.0)

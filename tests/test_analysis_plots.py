@@ -1,0 +1,88 @@
+"""Unit tests for the ASCII figure rendering."""
+
+import pytest
+
+from repro.analysis.plots import ascii_scatter, loglog_histogram, scatter_from_records
+from repro.analysis.results import RunRecord
+from repro.core.properties import degree_histogram
+from repro.errors import AnalysisError
+from repro.metrics.partition_metrics import compute_metrics
+from repro.partitioning.registry import make_partitioner
+
+
+class TestAsciiScatter:
+    def test_contains_axes_and_extremes(self):
+        plot = ascii_scatter([(0, 0), (10, 5), (5, 2.5)], x_label="metric", y_label="time")
+        assert "metric" in plot
+        assert "time" in plot
+        assert "0" in plot and "10" in plot
+        assert "+" in plot and "-" in plot  # axis drawing
+
+    def test_series_get_distinct_marks_and_legend(self):
+        plot = ascii_scatter(
+            [(1, 1), (2, 2), (3, 3)],
+            labels=["a", "b", "a"],
+            x_label="x",
+            y_label="y",
+        )
+        assert "legend:" in plot
+        assert "o=a" in plot
+        assert "x=b" in plot
+
+    def test_log_scale_requires_positive_values(self):
+        with pytest.raises(AnalysisError):
+            ascii_scatter([(0, 1), (1, 2)], log_x=True)
+
+    def test_single_point_and_constant_values(self):
+        plot = ascii_scatter([(5, 7)])
+        assert isinstance(plot, str)
+        assert plot.count("o") == 1
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(AnalysisError):
+            ascii_scatter([])
+
+    def test_tiny_plot_area_rejected(self):
+        with pytest.raises(AnalysisError):
+            ascii_scatter([(1, 1)], width=3, height=2)
+
+    def test_label_length_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            ascii_scatter([(1, 1), (2, 2)], labels=["only-one"])
+
+    def test_dimensions_respected(self):
+        plot = ascii_scatter([(0, 0), (1, 1)], width=30, height=10)
+        grid_lines = [line for line in plot.splitlines() if "|" in line]
+        assert len(grid_lines) == 10
+        assert all(len(line.split("|", 1)[1]) <= 30 for line in grid_lines)
+
+
+class TestScatterFromRecords:
+    def test_renders_one_series_per_dataset(self, small_social_graph, small_road_graph):
+        records = []
+        for dataset, graph in (("social", small_social_graph), ("road", small_road_graph)):
+            for name in ("RVC", "2D"):
+                metrics = compute_metrics(make_partitioner(name).assign(graph, 8))
+                records.append(
+                    RunRecord(dataset, name, 8, "PR", metrics, metrics.comm_cost / 1000.0, 5)
+                )
+        plot = scatter_from_records(records, metric="comm_cost")
+        assert "legend:" in plot
+        assert "social" in plot and "road" in plot
+        assert "comm_cost" in plot
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(AnalysisError):
+            scatter_from_records([])
+
+
+class TestLogLogHistogram:
+    def test_renders_degree_distribution(self, small_social_graph):
+        histogram = degree_histogram(small_social_graph, "in")
+        plot = loglog_histogram(histogram)
+        assert "log10(degree)" in plot
+        assert "log10(vertices)" in plot
+
+    def test_requires_positive_entries(self):
+        with pytest.raises(AnalysisError):
+            loglog_histogram({0: 10})

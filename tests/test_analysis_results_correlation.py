@@ -1,0 +1,139 @@
+"""Unit tests for run records, grouping helpers and correlation analysis."""
+
+import pytest
+
+from repro.analysis.correlation import (
+    correlation_table,
+    correlation_with_time,
+    pearson,
+    spearman,
+)
+from repro.analysis.results import (
+    RunRecord,
+    best_partitioner_per_dataset,
+    group_by_dataset,
+    records_to_rows,
+)
+from repro.errors import AnalysisError
+from repro.metrics.partition_metrics import compute_metrics
+from repro.partitioning.registry import make_partitioner
+
+
+def _record(dataset, partitioner, seconds, graph, num_partitions=4, algorithm="PR"):
+    metrics = compute_metrics(make_partitioner(partitioner).assign(graph, num_partitions))
+    return RunRecord(
+        dataset=dataset,
+        partitioner=partitioner,
+        num_partitions=num_partitions,
+        algorithm=algorithm,
+        metrics=metrics,
+        simulated_seconds=seconds,
+        num_supersteps=10,
+    )
+
+
+@pytest.fixture
+def sample_records(small_social_graph, small_road_graph):
+    return [
+        _record("social", "RVC", 2.0, small_social_graph),
+        _record("social", "2D", 1.5, small_social_graph),
+        _record("social", "DC", 1.2, small_social_graph),
+        _record("road", "RVC", 0.8, small_road_graph),
+        _record("road", "2D", 0.7, small_road_graph),
+        _record("road", "DC", 0.5, small_road_graph),
+    ]
+
+
+class TestPearsonAndSpearman:
+    def test_perfect_positive_correlation(self):
+        assert pearson([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+        assert spearman([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_perfect_negative_correlation(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_series_gives_zero(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_spearman_is_rank_based(self):
+        # A monotone but non-linear relationship: Spearman sees it as perfect.
+        xs = [1, 2, 3, 4, 5]
+        ys = [1, 8, 27, 64, 125]
+        assert spearman(xs, ys) == pytest.approx(1.0)
+        assert pearson(xs, ys) < 1.0
+
+    def test_matches_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        xs = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6, 5.3]
+        ys = [2.0, 7.0, 1.0, 8.0, 2.8, 1.8, 2.9]
+        assert pearson(xs, ys) == pytest.approx(scipy_stats.pearsonr(xs, ys)[0])
+        assert spearman(xs, ys) == pytest.approx(scipy_stats.spearmanr(xs, ys)[0])
+
+    @pytest.mark.parametrize("func", [pearson, spearman])
+    def test_length_mismatch_rejected(self, func):
+        with pytest.raises(AnalysisError):
+            func([1, 2], [1, 2, 3])
+
+    @pytest.mark.parametrize("func", [pearson, spearman])
+    def test_too_few_observations_rejected(self, func):
+        with pytest.raises(AnalysisError):
+            func([1], [2])
+
+
+class TestRunRecordHelpers:
+    def test_metric_lookup(self, sample_records):
+        record = sample_records[0]
+        assert record.metric("comm_cost") == record.metrics.comm_cost
+        assert record.metric("balance") == pytest.approx(record.metrics.balance)
+
+    def test_records_to_rows_columns(self, sample_records):
+        rows = records_to_rows(sample_records)
+        assert len(rows) == 6
+        assert {"dataset", "partitioner", "seconds", "comm_cost"} <= set(rows[0])
+
+    def test_group_by_dataset(self, sample_records):
+        grouped = group_by_dataset(sample_records)
+        assert set(grouped) == {"social", "road"}
+        assert len(grouped["social"]) == 3
+
+    def test_best_partitioner_per_dataset(self, sample_records):
+        best = best_partitioner_per_dataset(sample_records)
+        assert best == {"social": "DC", "road": "DC"}
+
+    def test_best_partitioner_filtered_by_granularity(self, sample_records, small_social_graph):
+        extra = _record("social", "1D", 0.1, small_social_graph, num_partitions=8)
+        best_coarse = best_partitioner_per_dataset(sample_records + [extra], num_partitions=4)
+        best_fine = best_partitioner_per_dataset(sample_records + [extra], num_partitions=8)
+        assert best_coarse["social"] == "DC"
+        assert best_fine == {"social": "1D"}
+
+
+class TestCorrelationWithTime:
+    def test_correlates_comm_cost_with_time(self, sample_records):
+        value = correlation_with_time(sample_records, "comm_cost")
+        assert -1.0 <= value <= 1.0
+
+    def test_time_proxy_correlates_perfectly_with_itself(self, small_social_graph):
+        records = [
+            _record("d", name, float(compute_metrics(
+                make_partitioner(name).assign(small_social_graph, 4)
+            ).comm_cost), small_social_graph)
+            for name in ("RVC", "2D", "DC", "CRVC")
+        ]
+        assert correlation_with_time(records, "comm_cost") == pytest.approx(1.0)
+
+    def test_spearman_method(self, sample_records):
+        value = correlation_with_time(sample_records, "comm_cost", method="spearman")
+        assert -1.0 <= value <= 1.0
+
+    def test_unknown_method_rejected(self, sample_records):
+        with pytest.raises(AnalysisError):
+            correlation_with_time(sample_records, "comm_cost", method="kendall")
+
+    def test_too_few_records_rejected(self, sample_records):
+        with pytest.raises(AnalysisError):
+            correlation_with_time(sample_records[:1], "comm_cost")
+
+    def test_correlation_table_covers_requested_metrics(self, sample_records):
+        table = correlation_table(sample_records, metrics=("comm_cost", "cut"))
+        assert set(table) == {"comm_cost", "cut"}

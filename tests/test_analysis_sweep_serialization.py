@@ -1,0 +1,130 @@
+"""Tests for granularity sweeps and result serialisation."""
+
+import pytest
+
+from repro.analysis.results import RunRecord
+from repro.analysis.serialization import (
+    load_records,
+    metrics_from_dict,
+    metrics_to_dict,
+    record_from_dict,
+    record_to_dict,
+    report_to_dict,
+    save_records,
+)
+from repro.analysis.sweep import sweep_granularity
+from repro.algorithms.pagerank import pagerank
+from repro.errors import AnalysisError
+from repro.metrics.partition_metrics import compute_metrics
+from repro.partitioning.registry import make_partitioner
+
+
+class TestGranularitySweep:
+    def test_metrics_only_sweep(self, small_social_graph):
+        sweep = sweep_granularity(small_social_graph, [4, 8, 16], partitioners=["RVC", "DC"])
+        assert len(sweep.points) == 3 * 2
+        assert all(p.simulated_seconds is None for p in sweep.points)
+        curve = sweep.curve("RVC", "comm_cost")
+        assert [n for n, _ in curve] == [4, 8, 16]
+        # CommCost grows (weakly) with the partition count.
+        values = [v for _, v in curve]
+        assert values == sorted(values)
+
+    def test_sweep_with_algorithm_records_runtimes(self, small_social_graph):
+        sweep = sweep_granularity(
+            small_social_graph,
+            [4, 8],
+            partitioners=["RVC", "DC"],
+            algorithm="PR",
+            num_iterations=2,
+        )
+        assert all(p.simulated_seconds > 0 for p in sweep.points)
+        best = sweep.crossover_points(by="seconds")
+        assert set(best) == {4, 8}
+        assert all(choice in {"RVC", "DC"} for choice in best.values())
+
+    def test_best_partitioner_by_metric(self, small_social_graph):
+        sweep = sweep_granularity(small_social_graph, [8], partitioners=["RVC", "DC", "2D"])
+        best = sweep.best_partitioner(8, by="comm_cost")
+        by_hand = min(
+            (p for p in sweep.points if p.num_partitions == 8),
+            key=lambda p: p.metrics.comm_cost,
+        ).partitioner
+        assert best == by_hand
+
+    def test_best_by_seconds_without_algorithm_rejected(self, small_social_graph):
+        sweep = sweep_granularity(small_social_graph, [4], partitioners=["RVC"])
+        with pytest.raises(AnalysisError):
+            sweep.best_partitioner(4, by="seconds")
+
+    def test_unknown_granularity_rejected(self, small_social_graph):
+        sweep = sweep_granularity(small_social_graph, [4], partitioners=["RVC"])
+        with pytest.raises(AnalysisError):
+            sweep.best_partitioner(128)
+
+    @pytest.mark.parametrize("counts", [[], [0], [-2]])
+    def test_invalid_partition_counts_rejected(self, small_social_graph, counts):
+        with pytest.raises(AnalysisError):
+            sweep_granularity(small_social_graph, counts)
+
+
+def _sample_record(graph, partitioner="CRVC", num_partitions=8):
+    metrics = compute_metrics(make_partitioner(partitioner).assign(graph, num_partitions))
+    return RunRecord(
+        dataset="sample",
+        partitioner=partitioner,
+        num_partitions=num_partitions,
+        algorithm="PR",
+        metrics=metrics,
+        simulated_seconds=0.1234,
+        num_supersteps=11,
+    )
+
+
+class TestSerialization:
+    def test_metrics_round_trip(self, small_social_graph):
+        metrics = compute_metrics(make_partitioner("2D").assign(small_social_graph, 9))
+        assert metrics_from_dict(metrics_to_dict(metrics)) == metrics
+
+    def test_metrics_missing_field_rejected(self):
+        with pytest.raises(AnalysisError):
+            metrics_from_dict({"strategy": "RVC"})
+
+    def test_record_round_trip(self, small_social_graph):
+        record = _sample_record(small_social_graph)
+        assert record_from_dict(record_to_dict(record)) == record
+
+    def test_record_missing_field_rejected(self):
+        with pytest.raises(AnalysisError):
+            record_from_dict({"dataset": "x"})
+
+    def test_save_and_load_records(self, tmp_path, small_social_graph):
+        records = [_sample_record(small_social_graph, name) for name in ("RVC", "DC", "2D")]
+        path = tmp_path / "runs.json"
+        save_records(records, path)
+        loaded = load_records(path)
+        assert loaded == records
+
+    def test_load_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(AnalysisError):
+            load_records(path)
+
+    def test_load_rejects_non_list_payload(self, tmp_path):
+        path = tmp_path / "obj.json"
+        path.write_text("{}")
+        with pytest.raises(AnalysisError):
+            load_records(path)
+
+    def test_save_to_missing_directory_rejected(self, tmp_path, small_social_graph):
+        with pytest.raises(AnalysisError):
+            save_records([_sample_record(small_social_graph)], tmp_path / "no-dir" / "x.json")
+
+    def test_report_to_dict_totals_consistent(self, partitioned_social):
+        result = pagerank(partitioned_social, num_iterations=3)
+        payload = report_to_dict(result.report)
+        assert payload["total_seconds"] == pytest.approx(result.simulated_seconds)
+        assert len(payload["supersteps"]) == result.num_supersteps
+        assert payload["cluster"]["num_executors"] == 4
+        assert payload["total_messages"] == result.report.total_messages

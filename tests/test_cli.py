@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_characterize_defaults(self):
+        args = build_parser().parse_args(["characterize"])
+        assert args.command == "characterize"
+        assert args.scale == 0.5
+
+    def test_run_arguments(self):
+        args = build_parser().parse_args(
+            ["--scale", "0.1", "run", "--algorithm", "CC", "--partitions", "16"]
+        )
+        assert args.algorithm == "CC"
+        assert args.partitions == 16
+        assert args.scale == 0.1
+
+    def test_invalid_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--algorithm", "BFS"])
+
+
+class TestCommands:
+    def test_characterize_prints_table(self, capsys):
+        exit_code = main(["--scale", "0.05", "characterize"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "roadnet-pa" in output
+        assert "follow-dec" in output
+
+    def test_metrics_prints_partitioners(self, capsys):
+        exit_code = main(
+            ["--scale", "0.05", "metrics", "--partitions", "8", "--datasets", "youtube"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        for partitioner in ("RVC", "1D", "2D", "CRVC", "SC", "DC"):
+            assert partitioner in output
+
+    def test_run_prints_correlations_and_best(self, capsys):
+        exit_code = main(
+            [
+                "--scale", "0.05",
+                "run",
+                "--algorithm", "PR",
+                "--partitions", "8",
+                "--datasets", "youtube", "pocek",
+                "--iterations", "2",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Correlation of metrics" in output
+        assert "Best partitioner per dataset" in output
+
+    def test_advise_heuristic_mode(self, capsys):
+        exit_code = main(["--scale", "0.05", "advise", "--dataset", "orkut", "--algorithm", "PR"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "[PR]" in output
+
+    def test_advise_empirical_mode(self, capsys):
+        exit_code = main(
+            [
+                "--scale", "0.05",
+                "advise",
+                "--dataset", "roadnet-pa",
+                "--algorithm", "TR",
+                "--partitions", "8",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "cut" in output

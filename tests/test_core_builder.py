@@ -1,0 +1,47 @@
+"""Unit tests for GraphBuilder."""
+
+import pytest
+
+from repro.core.builder import GraphBuilder
+from repro.errors import GraphValidationError
+
+
+class TestGraphBuilder:
+    def test_chained_building(self):
+        graph = GraphBuilder(name="toy").add_edge(0, 1).add_edge(1, 2).build()
+        assert graph.name == "toy"
+        assert graph.edge_set() == {(0, 1), (1, 2)}
+
+    def test_add_edges_bulk(self):
+        builder = GraphBuilder()
+        builder.add_edges([(0, 1), (1, 2), (2, 3)])
+        assert builder.num_pending_edges == 3
+        assert builder.build().num_edges == 3
+
+    def test_add_vertex_registers_isolated_vertex(self):
+        graph = GraphBuilder().add_edge(0, 1).add_vertex(10).build()
+        assert 10 in graph.vertex_ids.tolist()
+        assert graph.num_vertices == 3
+
+    def test_add_undirected_edge(self):
+        graph = GraphBuilder().add_undirected_edge(3, 4).build()
+        assert graph.edge_set() == {(3, 4), (4, 3)}
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(GraphValidationError):
+            GraphBuilder().add_edge(-1, 0)
+        with pytest.raises(GraphValidationError):
+            GraphBuilder().add_vertex(-5)
+
+    def test_empty_builder_builds_empty_graph(self):
+        graph = GraphBuilder().build()
+        assert graph.num_edges == 0
+        assert graph.num_vertices == 0
+
+    def test_builder_is_reusable_between_build_calls(self):
+        builder = GraphBuilder().add_edge(0, 1)
+        first = builder.build()
+        builder.add_edge(1, 2)
+        second = builder.build()
+        assert first.num_edges == 1
+        assert second.num_edges == 2

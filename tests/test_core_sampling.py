@@ -1,0 +1,90 @@
+"""Unit tests for graph sampling (forest fire, edge sampling, induced subgraphs)."""
+
+import pytest
+
+from repro.core import properties as props
+from repro.core.graph import Graph
+from repro.core.sampling import edge_sample, forest_fire_sample, induced_subgraph
+from repro.errors import GraphValidationError
+
+
+class TestInducedSubgraph:
+    def test_keeps_only_internal_edges(self, small_social_graph):
+        vertices = small_social_graph.vertex_ids.tolist()[:50]
+        sample = induced_subgraph(small_social_graph, vertices)
+        keep = set(vertices)
+        assert set(sample.vertex_ids.tolist()) <= keep
+        for src, dst in sample.edge_pairs():
+            assert src in keep and dst in keep
+
+    def test_edges_are_subset_of_original(self, small_social_graph):
+        sample = induced_subgraph(small_social_graph, small_social_graph.vertex_ids.tolist()[:60])
+        assert sample.edge_set() <= small_social_graph.edge_set()
+
+    def test_full_vertex_set_returns_same_edges(self, triangle_graph):
+        sample = induced_subgraph(triangle_graph, [0, 1, 2])
+        assert sample.edge_set() == triangle_graph.edge_set()
+
+
+class TestEdgeSample:
+    def test_fraction_one_keeps_everything(self, small_social_graph):
+        sample = edge_sample(small_social_graph, 1.0, seed=1)
+        assert sample.num_edges == small_social_graph.num_edges
+
+    def test_fraction_half_keeps_roughly_half(self, small_social_graph):
+        sample = edge_sample(small_social_graph, 0.5, seed=2)
+        assert 0.3 * small_social_graph.num_edges < sample.num_edges < 0.7 * small_social_graph.num_edges
+
+    def test_deterministic(self, small_social_graph):
+        first = edge_sample(small_social_graph, 0.4, seed=3)
+        second = edge_sample(small_social_graph, 0.4, seed=3)
+        assert first.edge_set() == second.edge_set()
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.5, 1.5])
+    def test_invalid_fraction_rejected(self, small_social_graph, fraction):
+        with pytest.raises(GraphValidationError):
+            edge_sample(small_social_graph, fraction)
+
+
+class TestForestFireSample:
+    def test_respects_target_size(self, small_social_graph):
+        sample = forest_fire_sample(small_social_graph, target_vertices=40, seed=5)
+        assert sample.num_vertices <= 45  # induced edges may include a couple of extras
+        assert sample.num_vertices >= 10
+
+    def test_is_subgraph_of_original(self, small_social_graph):
+        sample = forest_fire_sample(small_social_graph, target_vertices=30, seed=6)
+        assert sample.edge_set() <= small_social_graph.edge_set()
+
+    def test_deterministic(self, small_social_graph):
+        first = forest_fire_sample(small_social_graph, 30, seed=7)
+        second = forest_fire_sample(small_social_graph, 30, seed=7)
+        assert first.edge_set() == second.edge_set()
+
+    def test_target_larger_than_graph_returns_whole_component_set(self, triangle_graph):
+        sample = forest_fire_sample(triangle_graph, target_vertices=100, seed=1)
+        assert sample.num_vertices == 3
+
+    def test_creates_leaf_vertices_like_a_crawl(self, clique_ring_graph):
+        # Sampling part of a dense graph leaves frontier vertices with
+        # reduced degree, the crawl artefact Table 1 attributes to
+        # forest-fire sampling.
+        sample = forest_fire_sample(clique_ring_graph, target_vertices=10, seed=2)
+        degrees = sample.degrees()
+        assert min(degrees.values()) < max(degrees.values())
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"target_vertices": 0},
+            {"target_vertices": 5, "forward_probability": 1.0},
+            {"target_vertices": 5, "backward_probability": -0.1},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, small_social_graph, kwargs):
+        with pytest.raises(GraphValidationError):
+            forest_fire_sample(small_social_graph, **kwargs)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphValidationError):
+            forest_fire_sample(Graph([], []), target_vertices=5)

@@ -1,0 +1,32 @@
+"""Unit tests for the validation helpers."""
+
+import pytest
+
+from repro.core.graph import Graph
+from repro.core.validation import require_non_empty, require_positive_partitions
+from repro.errors import GraphValidationError, PartitioningError
+
+
+class TestRequireNonEmpty:
+    def test_passes_for_graph_with_edges(self, triangle_graph):
+        require_non_empty(triangle_graph)
+
+    def test_raises_for_empty_graph(self):
+        with pytest.raises(GraphValidationError, match="at least one edge"):
+            require_non_empty(Graph([], []), context="partitioning")
+
+
+class TestRequirePositivePartitions:
+    @pytest.mark.parametrize("value", [1, 2, 128, 256])
+    def test_accepts_positive_integers(self, value):
+        require_positive_partitions(value)
+
+    @pytest.mark.parametrize("value", [0, -1, -128])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(PartitioningError):
+            require_positive_partitions(value)
+
+    @pytest.mark.parametrize("value", [1.5, "8", None, True])
+    def test_rejects_non_integers(self, value):
+        with pytest.raises(PartitioningError):
+            require_positive_partitions(value)

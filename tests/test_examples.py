@@ -1,0 +1,41 @@
+"""Smoke tests for the example scripts.
+
+Each example must import cleanly (no side effects at import time) and
+expose a ``main`` entry point.  The quickstart is additionally executed at
+a reduced scale to make sure the documented workflow really runs.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_directory_has_at_least_three_scenarios(self):
+        assert len(EXAMPLE_FILES) >= 3
+        names = {path.name for path in EXAMPLE_FILES}
+        assert "quickstart.py" in names
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_example_imports_and_has_main(self, path):
+        module = _load(path)
+        assert hasattr(module, "main")
+        assert callable(module.main)
+
+    def test_quickstart_runs_end_to_end(self, capsys):
+        module = _load(EXAMPLES_DIR / "quickstart.py")
+        module.main()
+        output = capsys.readouterr().out
+        assert "PageRank finished" in output
+        assert "slower" in output

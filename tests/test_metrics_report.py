@@ -1,0 +1,51 @@
+"""Unit tests for the table formatting helpers."""
+
+from repro.metrics.partition_metrics import compute_metrics
+from repro.metrics.report import format_metrics_table, format_table, metrics_table_rows
+from repro.partitioning.registry import paper_partitioners
+
+
+class TestFormatTable:
+    def test_empty_table(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_column_selection_and_alignment(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        text = format_table(rows, columns=["a"])
+        lines = text.splitlines()
+        assert lines[0].strip() == "a"
+        assert "x" not in text
+
+    def test_numbers_formatted_with_separators(self):
+        text = format_table([{"n": 1234567}])
+        assert "1,234,567" in text
+
+    def test_floats_rounded_to_two_decimals(self):
+        text = format_table([{"f": 3.14159}])
+        assert "3.14" in text
+
+    def test_missing_cells_render_empty(self):
+        text = format_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        assert text.count("\n") == 3  # header + separator + 2 rows
+
+
+class TestMetricsTable:
+    def test_rows_cover_every_dataset_and_partitioner(self, small_social_graph):
+        per_dataset = {
+            "toy": [
+                compute_metrics(strategy.assign(small_social_graph, 4))
+                for strategy in paper_partitioners()
+            ]
+        }
+        rows = metrics_table_rows(per_dataset)
+        assert len(rows) == 6
+        assert {row["partitioner"] for row in rows} == {"RVC", "1D", "2D", "CRVC", "SC", "DC"}
+        assert all(row["dataset"] == "toy" for row in rows)
+
+    def test_format_metrics_table_contains_headers(self, small_social_graph):
+        per_dataset = {
+            "toy": [compute_metrics(paper_partitioners()[0].assign(small_social_graph, 4))]
+        }
+        text = format_metrics_table(per_dataset)
+        for column in ("dataset", "partitioner", "balance", "comm_cost"):
+            assert column in text

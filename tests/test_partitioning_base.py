@@ -1,0 +1,86 @@
+"""Unit tests for the strategy base class and assignment object."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import Graph
+from repro.errors import PartitioningError
+from repro.partitioning.base import EdgePartitionAssignment, PartitionStrategy
+from repro.partitioning.hash_partitioners import RandomVertexCut
+
+
+class ModuloStrategy(PartitionStrategy):
+    """Toy strategy used to exercise the scalar fallback path."""
+
+    name = "toy-modulo"
+
+    def partition_edge(self, src, dst, num_partitions):
+        return (src + dst) % num_partitions
+
+
+class TestAssignmentValidation:
+    def test_length_mismatch_rejected(self, triangle_graph):
+        with pytest.raises(PartitioningError):
+            EdgePartitionAssignment(triangle_graph, 2, np.array([0, 1]))
+
+    def test_out_of_range_partition_rejected(self, triangle_graph):
+        with pytest.raises(PartitioningError):
+            EdgePartitionAssignment(triangle_graph, 2, np.array([0, 1, 2]))
+        with pytest.raises(PartitioningError):
+            EdgePartitionAssignment(triangle_graph, 2, np.array([0, -1, 1]))
+
+    def test_zero_partitions_rejected_by_assign(self, triangle_graph):
+        with pytest.raises(PartitioningError):
+            RandomVertexCut().assign(triangle_graph, 0)
+
+
+class TestAssignmentAccessors:
+    def test_edges_per_partition_sums_to_total(self, small_social_graph):
+        assignment = RandomVertexCut().assign(small_social_graph, 7)
+        counts = assignment.edges_per_partition()
+        assert counts.sum() == small_social_graph.num_edges
+        assert counts.shape == (7,)
+
+    def test_edge_ids_of_partition_partition_membership(self, small_social_graph):
+        assignment = RandomVertexCut().assign(small_social_graph, 5)
+        for partition_id in range(5):
+            ids = assignment.edge_ids_of_partition(partition_id)
+            assert (assignment.partition_of[ids] == partition_id).all()
+
+    def test_vertex_partitions_cover_every_endpoint(self, triangle_graph):
+        assignment = RandomVertexCut().assign(triangle_graph, 2)
+        membership = assignment.vertex_partitions()
+        assert set(membership) == {0, 1, 2}
+        assert all(parts for parts in membership.values())
+
+    def test_vertex_partitions_cached(self, triangle_graph):
+        assignment = RandomVertexCut().assign(triangle_graph, 2)
+        assert assignment.vertex_partitions() is assignment.vertex_partitions()
+
+    def test_replication_counts(self):
+        graph = Graph([0, 0], [1, 2])
+        assignment = EdgePartitionAssignment(graph, 2, np.array([0, 1]), strategy_name="manual")
+        counts = assignment.replication_counts()
+        assert counts[0] == 2  # vertex 0 touches both partitions
+        assert counts[1] == 1
+        assert counts[2] == 1
+
+    def test_isolated_vertices_have_empty_membership(self):
+        graph = Graph([0], [1], vertices=[9])
+        assignment = RandomVertexCut().assign(graph, 4)
+        assert assignment.vertex_partitions()[9] == frozenset()
+
+
+class TestScalarFallback:
+    def test_assign_array_default_uses_partition_edge(self, small_social_graph):
+        strategy = ModuloStrategy()
+        assignment = strategy.assign(small_social_graph, 4)
+        expected = [
+            (s + d) % 4 for s, d in small_social_graph.edge_pairs()
+        ]
+        assert assignment.partition_of.tolist() == expected
+
+    def test_empty_graph_assignment(self):
+        assignment = ModuloStrategy().assign(Graph([], []), 3)
+        assert assignment.partition_of.size == 0
+        assert assignment.edges_per_partition().tolist() == [0, 0, 0]

@@ -1,0 +1,45 @@
+"""Unit tests for the 64-bit mixing hash used by the partitioners."""
+
+import numpy as np
+
+from repro.partitioning.hashing import hash_pair, mix64
+
+
+class TestMix64:
+    def test_deterministic(self):
+        assert mix64(12345) == mix64(12345)
+
+    def test_scalar_and_array_agree(self):
+        values = np.array([0, 1, 7, 123456789], dtype=np.uint64)
+        array_result = mix64(values)
+        for value, hashed in zip(values.tolist(), array_result.tolist()):
+            assert int(mix64(value)) == hashed
+
+    def test_spreads_consecutive_inputs(self):
+        hashes = mix64(np.arange(1000, dtype=np.uint64))
+        # Consecutive integers should not map to consecutive hashes.
+        assert len(np.unique(hashes)) == 1000
+        assert np.std(hashes.astype(np.float64)) > 1e17
+
+    def test_zero_input_is_not_zero_output(self):
+        assert int(mix64(0)) != 0
+
+
+class TestHashPair:
+    def test_order_sensitive(self):
+        assert int(hash_pair(1, 2)) != int(hash_pair(2, 1))
+
+    def test_deterministic_for_arrays(self):
+        src = np.array([1, 2, 3], dtype=np.uint64)
+        dst = np.array([4, 5, 6], dtype=np.uint64)
+        assert hash_pair(src, dst).tolist() == hash_pair(src, dst).tolist()
+
+    def test_uniform_bucket_distribution(self):
+        rng = np.random.default_rng(0)
+        src = rng.integers(0, 10_000, size=20_000).astype(np.uint64)
+        dst = rng.integers(0, 10_000, size=20_000).astype(np.uint64)
+        buckets = hash_pair(src, dst) % np.uint64(16)
+        counts = np.bincount(buckets.astype(np.int64), minlength=16)
+        # Every bucket should hold roughly 1/16th of the pairs (within 25%).
+        assert counts.min() > 0.75 * 20_000 / 16
+        assert counts.max() < 1.25 * 20_000 / 16

@@ -1,0 +1,47 @@
+"""Unit tests for the partitioner registry."""
+
+import pytest
+
+from repro.errors import PartitioningError
+from repro.partitioning.base import PartitionStrategy
+from repro.partitioning.registry import (
+    EXTENSION_PARTITIONER_NAMES,
+    PAPER_PARTITIONER_NAMES,
+    available_partitioners,
+    extension_partitioners,
+    make_partitioner,
+    paper_partitioners,
+)
+
+
+class TestRegistry:
+    def test_paper_order_matches_tables(self):
+        assert PAPER_PARTITIONER_NAMES == ["RVC", "1D", "2D", "CRVC", "SC", "DC"]
+
+    def test_every_registered_name_is_constructible(self):
+        for name in available_partitioners():
+            strategy = make_partitioner(name)
+            assert isinstance(strategy, PartitionStrategy)
+            assert strategy.name == name
+
+    def test_lookup_is_case_insensitive(self):
+        assert make_partitioner("crvc").name == "CRVC"
+        assert make_partitioner("dc").name == "DC"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(PartitioningError, match="unknown partitioner"):
+            make_partitioner("metis")
+
+    def test_paper_and_extension_sets_are_disjoint(self):
+        assert not set(PAPER_PARTITIONER_NAMES) & set(EXTENSION_PARTITIONER_NAMES)
+
+    def test_factories_return_fresh_instances(self):
+        assert make_partitioner("RVC") is not make_partitioner("RVC")
+
+    def test_extension_partitioners_list(self):
+        names = [s.name for s in extension_partitioners()]
+        assert names == EXTENSION_PARTITIONER_NAMES
+
+    def test_paper_partitioners_list(self):
+        names = [s.name for s in paper_partitioners()]
+        assert names == PAPER_PARTITIONER_NAMES

@@ -1,0 +1,145 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These cover the invariants that must hold for *any* graph and *any*
+partitioning, not just the fixtures: metric identities, partitioner
+determinism and range safety, and algorithm correctness against
+single-machine oracles.
+"""
+
+from collections import deque
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.connected_components import connected_components
+from repro.algorithms.pagerank import pagerank, reference_pagerank
+from repro.algorithms.triangle_count import total_triangles, triangle_count
+from repro.core.graph import Graph
+from repro.core.properties import triangle_count as exact_triangles
+from repro.engine.partitioned_graph import PartitionedGraph
+from repro.metrics.partition_metrics import compute_metrics
+from repro.partitioning.registry import PAPER_PARTITIONER_NAMES, make_partitioner
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graphs(draw, max_vertices=30, min_edges=1, max_edges=120):
+    """Random small directed multigraphs (self-loops and duplicates allowed)."""
+    num_vertices = draw(st.integers(min_value=2, max_value=max_vertices))
+    num_edges = draw(st.integers(min_value=min_edges, max_value=max_edges))
+    vertex = st.integers(min_value=0, max_value=num_vertices - 1)
+    edges = draw(
+        st.lists(st.tuples(vertex, vertex), min_size=num_edges, max_size=num_edges)
+    )
+    return Graph.from_edges(edges, name="hypothesis")
+
+
+@st.composite
+def partitioned_graphs(draw):
+    graph = draw(graphs())
+    strategy = draw(st.sampled_from(PAPER_PARTITIONER_NAMES))
+    num_partitions = draw(st.integers(min_value=1, max_value=12))
+    return PartitionedGraph.partition(graph, strategy, num_partitions)
+
+
+class TestPartitioningProperties:
+    @SETTINGS
+    @given(graph=graphs(), name=st.sampled_from(PAPER_PARTITIONER_NAMES), parts=st.integers(1, 16))
+    def test_assignment_in_range_and_deterministic(self, graph, name, parts):
+        strategy = make_partitioner(name)
+        first = strategy.assign(graph, parts)
+        second = strategy.assign(graph, parts)
+        assert first.partition_of.tolist() == second.partition_of.tolist()
+        if graph.num_edges:
+            assert 0 <= first.partition_of.min()
+            assert first.partition_of.max() < parts
+
+    @SETTINGS
+    @given(pgraph=partitioned_graphs())
+    def test_metric_identities(self, pgraph):
+        metrics = compute_metrics(pgraph.assignment)
+        # Replica-count breakdowns from Section 3.1 of the paper.
+        assert metrics.comm_cost + metrics.non_cut == metrics.total_replicas
+        assert metrics.vertices_to_same + metrics.vertices_to_other == metrics.total_replicas
+        assert metrics.cut + metrics.non_cut <= pgraph.graph.num_vertices
+        assert metrics.comm_cost >= 2 * metrics.cut
+        # Edge bookkeeping.
+        assert metrics.max_partition_edges <= pgraph.graph.num_edges
+        assert sum(pgraph.assignment.edges_per_partition()) == pgraph.graph.num_edges
+        if pgraph.graph.num_edges:
+            assert metrics.balance >= 1.0 - 1e-9
+
+    @SETTINGS
+    @given(pgraph=partitioned_graphs())
+    def test_partitions_and_routing_consistent(self, pgraph):
+        total_edges = sum(p.num_edges for p in pgraph.partitions)
+        assert total_edges == pgraph.graph.num_edges
+        for vertex, parts in pgraph.routing.replicas.items():
+            assert pgraph.routing.sync_message_count(vertex) <= len(parts)
+            for part in parts:
+                assert 0 <= part < pgraph.num_partitions
+
+    @SETTINGS
+    @given(graph=graphs(), parts=st.integers(4, 16))
+    def test_2d_replication_bound(self, graph, parts):
+        side = int(parts ** 0.5)
+        perfect_square = side * side
+        strategy = make_partitioner("2D")
+        assignment = strategy.assign(graph, perfect_square)
+        bound = 2 * side - 1
+        for membership in assignment.vertex_partitions().values():
+            assert len(membership) <= bound
+
+
+def _bfs_components(graph):
+    adjacency = graph.adjacency(direction="both")
+    labels = {}
+    for start in adjacency:
+        if start in labels:
+            continue
+        queue = deque([start])
+        members = {start}
+        while queue:
+            node = queue.popleft()
+            for neighbour in adjacency[node]:
+                if neighbour not in members:
+                    members.add(neighbour)
+                    queue.append(neighbour)
+        label = min(members)
+        for member in members:
+            labels[member] = label
+    return labels
+
+
+class TestAlgorithmProperties:
+    @SETTINGS
+    @given(pgraph=partitioned_graphs())
+    def test_connected_components_match_bfs_oracle(self, pgraph):
+        result = connected_components(pgraph)
+        assert result.vertex_values == _bfs_components(pgraph.graph)
+
+    @SETTINGS
+    @given(pgraph=partitioned_graphs(), iterations=st.integers(1, 5))
+    def test_pagerank_matches_reference(self, pgraph, iterations):
+        result = pagerank(pgraph, num_iterations=iterations)
+        expected = reference_pagerank(pgraph.graph, num_iterations=iterations)
+        for vertex, value in expected.items():
+            assert result.vertex_values[vertex] == pytest.approx(value, abs=1e-9)
+
+    @SETTINGS
+    @given(pgraph=partitioned_graphs())
+    def test_triangle_count_matches_exact_count(self, pgraph):
+        result = triangle_count(pgraph)
+        assert total_triangles(result) == exact_triangles(pgraph.graph)
+
+    @SETTINGS
+    @given(pgraph=partitioned_graphs())
+    def test_simulated_time_is_positive_and_finite(self, pgraph):
+        result = pagerank(pgraph, num_iterations=2)
+        assert 0 < result.simulated_seconds < 1e6
