@@ -11,6 +11,8 @@ of Kolokasis & Pratikakis' study of vertex-cut partitioning in GraphX:
   cost model;
 * :mod:`repro.algorithms` — PageRank, Connected Components, Triangle Count
   and SSSP on top of the engine;
+* :mod:`repro.backends` — pluggable execution backends: the ``reference``
+  cost-model simulator and the ``vectorized`` CSR/numpy kernels;
 * :mod:`repro.analysis` — the experiment harness, correlation analysis and
   the "cut to fit" partitioner advisor.
 
@@ -45,11 +47,20 @@ from .analysis import (
     run_infrastructure_study,
     run_partitioning_study,
 )
+from .backends import (
+    Backend,
+    CSRGraph,
+    available_backends,
+    get_backend,
+    register_backend,
+    validate_backends,
+)
 from .core import Graph, GraphBuilder, GraphSummary, read_edge_list, summarize, write_edge_list
 from .datasets import PAPER_DATASET_NAMES, load_all_datasets, load_dataset
 from .engine import ClusterConfig, CostParameters, PartitionedGraph, paper_cluster, pregel
 from .errors import (
     AnalysisError,
+    BackendError,
     DatasetError,
     EngineError,
     GraphIOError,
@@ -69,6 +80,9 @@ __all__ = [
     "__version__",
     "AlgorithmResult",
     "AnalysisError",
+    "Backend",
+    "BackendError",
+    "CSRGraph",
     "ClusterConfig",
     "CostParameters",
     "DatasetError",
@@ -88,9 +102,11 @@ __all__ = [
     "Recommendation",
     "ReproError",
     "RunRecord",
+    "available_backends",
     "compute_metrics",
     "connected_components",
     "degree_count",
+    "get_backend",
     "load_all_datasets",
     "load_dataset",
     "make_partitioner",
@@ -100,6 +116,7 @@ __all__ = [
     "pregel",
     "read_edge_list",
     "recommend_empirically",
+    "register_backend",
     "recommend_partitioner",
     "run_algorithm",
     "run_algorithm_study",
@@ -109,5 +126,6 @@ __all__ = [
     "summarize",
     "total_triangles",
     "triangle_count",
+    "validate_backends",
     "write_edge_list",
 ]

@@ -5,6 +5,12 @@ The registry hides the per-algorithm calling conventions behind a single
 can sweep algorithms uniformly.  PageRank and Connected Components run for
 10 iterations by default (the paper's setting); SSSP picks 5 deterministic
 landmark vertices unless told otherwise.
+
+``backend`` selects the execution strategy: the default (``None`` or
+``"reference"``) runs the paper-faithful Pregel simulator below; any other
+name is resolved through :mod:`repro.backends` (e.g. ``"vectorized"`` for
+the CSR/numpy kernels).  Every result records which backend produced it
+and the measured wall-clock time of the run.
 """
 
 from __future__ import annotations
@@ -21,7 +27,12 @@ from .result import AlgorithmResult
 from .shortest_paths import choose_landmarks, shortest_paths
 from .triangle_count import triangle_count
 
-__all__ = ["ALGORITHM_NAMES", "run_algorithm", "algorithm_metric_of_interest"]
+__all__ = [
+    "ALGORITHM_NAMES",
+    "run_algorithm",
+    "run_reference_algorithm",
+    "algorithm_metric_of_interest",
+]
 
 #: The paper's four algorithms, with their abbreviations.
 ALGORITHM_NAMES: List[str] = ["PR", "CC", "TR", "SSSP"]
@@ -51,8 +62,37 @@ def run_algorithm(
     landmark_seed: int = 7,
     cluster: Optional[ClusterConfig] = None,
     cost_parameters: Optional[CostParameters] = None,
+    backend: Optional[str] = None,
 ) -> AlgorithmResult:
-    """Run one of the paper's algorithms by abbreviation (PR, CC, TR, SSSP)."""
+    """Run one of the paper's algorithms by abbreviation (PR, CC, TR, SSSP).
+
+    ``backend`` picks the execution strategy (``"reference"`` by default;
+    see :mod:`repro.backends` for the registry).  The backend layer stamps
+    every result with its name and measured wall-clock time.
+    """
+    from ..backends import get_backend
+
+    return get_backend(backend or "reference").run(
+        name,
+        pgraph,
+        num_iterations=num_iterations,
+        landmarks=landmarks,
+        landmark_seed=landmark_seed,
+        cluster=cluster,
+        cost_parameters=cost_parameters,
+    )
+
+
+def run_reference_algorithm(
+    name: str,
+    pgraph: PartitionedGraph,
+    num_iterations: int = 10,
+    landmarks: Optional[List[int]] = None,
+    landmark_seed: int = 7,
+    cluster: Optional[ClusterConfig] = None,
+    cost_parameters: Optional[CostParameters] = None,
+) -> AlgorithmResult:
+    """The simulator execution path behind the ``reference`` backend."""
     key = name.upper()
     if key == "PR":
         return pagerank(

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from ..engine.cost_model import SimulationReport
 
@@ -12,16 +12,27 @@ __all__ = ["AlgorithmResult"]
 
 @dataclass
 class AlgorithmResult:
-    """Final vertex values plus the simulated execution report of one run."""
+    """Final vertex values plus the execution record of one run.
+
+    ``report`` is the simulated cluster accounting and is only produced by
+    the ``reference`` backend; array backends leave it ``None``.
+    ``backend`` records which execution backend produced the values and
+    ``wall_seconds`` the measured wall-clock time of the run (filled in by
+    :func:`repro.algorithms.registry.run_algorithm`).
+    """
 
     algorithm: str
     vertex_values: Dict[int, Any]
     num_supersteps: int
-    report: SimulationReport
+    report: Optional[SimulationReport] = None
+    backend: str = "reference"
+    wall_seconds: float = 0.0
 
     @property
     def simulated_seconds(self) -> float:
-        """End-to-end simulated execution time of the run."""
+        """End-to-end simulated execution time (0.0 without a cost model)."""
+        if self.report is None:
+            return 0.0
         return self.report.total_seconds
 
     def value_of(self, vertex: int) -> Any:
@@ -30,6 +41,7 @@ class AlgorithmResult:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"AlgorithmResult({self.algorithm!r}, vertices={len(self.vertex_values)}, "
+            f"AlgorithmResult({self.algorithm!r}, backend={self.backend!r}, "
+            f"vertices={len(self.vertex_values)}, "
             f"supersteps={self.num_supersteps}, seconds={self.simulated_seconds:.4f})"
         )

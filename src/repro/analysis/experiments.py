@@ -17,6 +17,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..algorithms.registry import run_algorithm
 from ..algorithms.shortest_paths import choose_landmarks
+from ..backends import get_backend
 from ..core.graph import Graph
 from ..datasets.catalog import PAPER_DATASET_NAMES, load_dataset
 from ..engine.cluster import ClusterConfig, paper_cluster
@@ -53,6 +54,11 @@ class ExperimentConfig:
     landmark_count: int = 5
     cluster: Optional[ClusterConfig] = None
     cost_parameters: Optional[CostParameters] = None
+    #: Execution backend (see :mod:`repro.backends`).  ``reference`` is the
+    #: only backend with a cluster cost model, so correlation studies
+    #: should keep the default; ``vectorized`` records wall-clock time
+    #: instead of simulated seconds.
+    backend: str = "reference"
 
     def __post_init__(self) -> None:
         if self.num_partitions < 1:
@@ -109,6 +115,7 @@ def run_algorithm_study(
     """Run one algorithm over every (dataset, partitioner) pair of the config."""
     cluster = config.cluster or paper_cluster()
     resolved = _resolve_graphs(list(config.datasets), config.scale, config.seed, graphs)
+    partition_oblivious = not get_backend(config.backend).uses_partitioning
 
     records: List[RunRecord] = []
     for dataset_name in config.datasets:
@@ -116,16 +123,22 @@ def run_algorithm_study(
         landmarks = None
         if config.algorithm.upper() == "SSSP":
             landmarks = choose_landmarks(graph, count=config.landmark_count, seed=config.seed + 7)
+        result = None
         for partitioner_name in config.partitioners:
             pgraph = PartitionedGraph.partition(graph, partitioner_name, config.num_partitions)
-            result = run_algorithm(
-                config.algorithm,
-                pgraph,
-                num_iterations=config.num_iterations,
-                landmarks=landmarks,
-                cluster=cluster,
-                cost_parameters=config.cost_parameters,
-            )
+            # A partition-oblivious backend (e.g. ``vectorized``) produces
+            # identical results for every placement, so run it once per
+            # dataset and reuse the outcome for each partitioner row.
+            if result is None or not partition_oblivious:
+                result = run_algorithm(
+                    config.algorithm,
+                    pgraph,
+                    num_iterations=config.num_iterations,
+                    landmarks=landmarks,
+                    cluster=cluster,
+                    cost_parameters=config.cost_parameters,
+                    backend=config.backend,
+                )
             records.append(
                 RunRecord(
                     dataset=dataset_name,
@@ -135,6 +148,8 @@ def run_algorithm_study(
                     metrics=pgraph.metrics,
                     simulated_seconds=result.simulated_seconds,
                     num_supersteps=result.num_supersteps,
+                    backend=result.backend,
+                    wall_seconds=result.wall_seconds,
                 )
             )
     return records

@@ -22,6 +22,8 @@ class RunRecord:
     metrics: PartitioningMetrics
     simulated_seconds: float
     num_supersteps: int
+    backend: str = "reference"
+    wall_seconds: float = 0.0
 
     def metric(self, name: str) -> float:
         """Value of a partitioning metric for this run (e.g. ``"comm_cost"``)."""
@@ -38,7 +40,9 @@ class RunRecord:
             "cut": self.metrics.cut,
             "balance": round(self.metrics.balance, 2),
             "seconds": round(self.simulated_seconds, 4),
+            "wall_s": round(self.wall_seconds, 4),
             "supersteps": self.num_supersteps,
+            "backend": self.backend,
         }
 
 

@@ -1,0 +1,88 @@
+"""Cross-backend equivalence checking.
+
+:func:`validate_backends` runs the same algorithm on several backends and
+asserts that every backend produces the same final vertex values as the
+first one (the baseline).  PageRank is compared with a relative floating
+point tolerance — the reference simulator and the numpy kernels
+accumulate edge contributions in different orders — while CC, TR, SSSP
+and the degree kernels must match exactly.
+
+This is both a test-suite helper and a runtime safety net: a new backend
+can be certified on a sample of the real workload before being trusted.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from ..algorithms.result import AlgorithmResult
+from ..errors import BackendError
+from .base import GraphLike, get_backend
+
+__all__ = ["validate_backends"]
+
+#: Relative tolerance for floating-point algorithms (PageRank).
+DEFAULT_REL_TOL = 1e-9
+
+#: Algorithms whose vertex values are floats and compared approximately.
+_APPROXIMATE = {"PR"}
+
+
+def _values_match(algorithm: str, expected, actual, rel_tol: float) -> bool:
+    if algorithm in _APPROXIMATE:
+        return math.isclose(expected, actual, rel_tol=rel_tol, abs_tol=rel_tol)
+    return expected == actual
+
+
+def validate_backends(
+    graph: GraphLike,
+    algorithms: Sequence[str] = ("PR", "CC", "TR", "SSSP"),
+    backends: Sequence[str] = ("reference", "vectorized"),
+    num_iterations: int = 10,
+    landmarks: Optional[List[int]] = None,
+    landmark_seed: int = 7,
+    rel_tol: float = DEFAULT_REL_TOL,
+) -> Dict[str, Dict[str, AlgorithmResult]]:
+    """Assert that all ``backends`` agree on ``algorithms`` over ``graph``.
+
+    Returns ``{algorithm: {backend_name: result}}`` on success and raises
+    :class:`~repro.errors.BackendError` naming the first disagreeing
+    vertex otherwise.  The first backend in ``backends`` is the baseline.
+    """
+    if len(backends) < 2:
+        raise BackendError("validate_backends needs at least two backends to compare")
+    resolved = [get_backend(name) for name in backends]
+
+    outcomes: Dict[str, Dict[str, AlgorithmResult]] = {}
+    for algorithm in algorithms:
+        key = algorithm.upper()
+        runs: Dict[str, AlgorithmResult] = {}
+        for backend in resolved:
+            runs[backend.name] = backend.run(
+                key,
+                graph,
+                num_iterations=num_iterations,
+                landmarks=landmarks,
+                landmark_seed=landmark_seed,
+            )
+        baseline_name = resolved[0].name
+        baseline = runs[baseline_name].vertex_values
+        for backend_name, result in runs.items():
+            if backend_name == baseline_name:
+                continue
+            candidate = result.vertex_values
+            if set(candidate) != set(baseline):
+                raise BackendError(
+                    f"{key}: backend {backend_name!r} returned a different vertex set "
+                    f"than {baseline_name!r} ({len(candidate)} vs {len(baseline)} vertices)"
+                )
+            for vertex, expected in baseline.items():
+                actual = candidate[vertex]
+                if not _values_match(key, expected, actual, rel_tol):
+                    raise BackendError(
+                        f"{key}: backends {baseline_name!r} and {backend_name!r} "
+                        f"disagree at vertex {vertex}: {expected!r} != {actual!r}"
+                    )
+        outcomes[key] = runs
+    return outcomes

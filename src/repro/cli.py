@@ -17,6 +17,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .algorithms.registry import run_algorithm
 from .analysis.advisor import recommend_empirically, recommend_partitioner
 from .analysis.correlation import correlation_table
 from .analysis.experiments import (
@@ -25,8 +26,10 @@ from .analysis.experiments import (
     run_partitioning_study,
 )
 from .analysis.results import best_partitioner_per_dataset, records_to_rows
+from .backends import available_backends, get_backend
 from .datasets.catalog import PAPER_DATASET_NAMES, load_dataset
 from .datasets.characterization import build_table1, format_table1
+from .engine.partitioned_graph import PartitionedGraph
 from .metrics.report import format_metrics_table, format_table
 
 __all__ = ["main", "build_parser"]
@@ -49,15 +52,31 @@ def build_parser() -> argparse.ArgumentParser:
     metrics_parser.add_argument("--datasets", nargs="*", default=None)
 
     run_parser = subparsers.add_parser("run", help="run an algorithm sweep (Figures 3-6)")
-    run_parser.add_argument("--algorithm", default="PR", choices=["PR", "CC", "TR", "SSSP"])
+    # type=str.upper runs before the choices check, so lowercase
+    # abbreviations ("pr", "sssp") are accepted too.
+    run_parser.add_argument(
+        "--algorithm", default="PR", type=str.upper, choices=["PR", "CC", "TR", "SSSP"]
+    )
     run_parser.add_argument("--partitions", type=int, default=128)
     run_parser.add_argument("--datasets", nargs="*", default=None)
     run_parser.add_argument("--iterations", type=int, default=10)
+    run_parser.add_argument(
+        "--backend",
+        default="reference",
+        choices=available_backends(),
+        help="execution backend (reference = cost-model simulator)",
+    )
 
     advise_parser = subparsers.add_parser("advise", help="recommend a partitioner")
     advise_parser.add_argument("--dataset", required=True)
-    advise_parser.add_argument("--algorithm", default="PR")
+    advise_parser.add_argument("--algorithm", default="PR", type=str.upper)
     advise_parser.add_argument("--partitions", type=int, default=None)
+    advise_parser.add_argument(
+        "--backend",
+        default=None,
+        choices=available_backends(),
+        help="also execute the recommended configuration on this backend",
+    )
 
     return parser
 
@@ -87,10 +106,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
         scale=args.scale,
         seed=args.seed,
         num_iterations=args.iterations,
+        backend=args.backend,
     )
     records = run_algorithm_study(config)
     print(format_table(records_to_rows(records)))
     print()
+    if args.backend != "reference":
+        # No cluster cost model: report measured wall-clock time instead of
+        # simulated-time correlations.  Partition-oblivious backends execute
+        # once per dataset (each partitioner row reuses that run), so count
+        # and sum distinct executions only.
+        if get_backend(args.backend).uses_partitioning:
+            executions = [record.wall_seconds for record in records]
+        else:
+            per_dataset = {record.dataset: record.wall_seconds for record in records}
+            executions = list(per_dataset.values())
+        print(
+            f"Backend {args.backend!r}: {len(executions)} executions in "
+            f"{sum(executions):.3f}s wall-clock (no simulated cluster timing)."
+        )
+        return 0
     correlations = correlation_table(records)
     print("Correlation of metrics with simulated time:")
     for metric, value in correlations.items():
@@ -112,6 +147,20 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     if recommendation.candidates:
         for name, score in sorted(recommendation.candidates.items(), key=lambda kv: kv[1]):
             print(f"  {name:>8}: {score:,.0f}")
+    if args.backend:
+        pgraph = PartitionedGraph.partition(
+            graph, recommendation.partitioner, args.partitions or 16
+        )
+        result = run_algorithm(recommendation.algorithm, pgraph, backend=args.backend)
+        timing = (
+            f"simulated {result.simulated_seconds:.4f}s"
+            if result.report is not None
+            else "no simulated timing"
+        )
+        print(
+            f"Executed {result.algorithm} with {recommendation.partitioner} on backend "
+            f"{result.backend!r}: {result.wall_seconds:.3f}s wall-clock, {timing}."
+        )
     return 0
 
 

@@ -77,6 +77,13 @@ class Graph:
         self._src = src_arr
         self._dst = dst_arr
         self.name = name
+        # Derived views are cached per instance: the edge arrays are
+        # immutable after construction, so recomputation can never change
+        # the answer.  Degree/adjacency accessors hand out copies so
+        # callers may mutate what they receive.
+        self._degree_cache: dict = {}
+        self._adjacency_cache: dict = {}
+        self._csr_cache = None
 
         endpoint_ids = np.concatenate([src_arr, dst_arr]) if src_arr.size else np.empty(0, np.int64)
         if vertices is not None:
@@ -158,11 +165,11 @@ class Graph:
     # ------------------------------------------------------------------
     def out_degrees(self) -> dict:
         """Return ``{vertex_id: out-degree}`` for every vertex (zeros included)."""
-        return self._degree_map(self._src)
+        return self._cached_degree_map("out", self._src)
 
     def in_degrees(self) -> dict:
         """Return ``{vertex_id: in-degree}`` for every vertex (zeros included)."""
-        return self._degree_map(self._dst)
+        return self._cached_degree_map("in", self._dst)
 
     def degrees(self) -> dict:
         """Return ``{vertex_id: total degree}`` (in + out) for every vertex."""
@@ -170,6 +177,13 @@ class Graph:
         for v, d in self.in_degrees().items():
             out[v] += d
         return out
+
+    def _cached_degree_map(self, key: str, endpoints: np.ndarray) -> dict:
+        cached = self._degree_cache.get(key)
+        if cached is None:
+            cached = self._degree_map(endpoints)
+            self._degree_cache[key] = cached
+        return dict(cached)
 
     def _degree_map(self, endpoints: np.ndarray) -> dict:
         result = {int(v): 0 for v in self._vertex_ids.tolist()}
@@ -226,10 +240,26 @@ class Graph:
         """
         if direction not in ("out", "in", "both"):
             raise GraphValidationError(f"unknown direction {direction!r}")
-        adj = {int(v): set() for v in self._vertex_ids.tolist()}
-        for s, d in zip(self._src.tolist(), self._dst.tolist()):
-            if direction in ("out", "both"):
-                adj[s].add(d)
-            if direction in ("in", "both"):
-                adj[d].add(s)
-        return adj
+        cached = self._adjacency_cache.get(direction)
+        if cached is None:
+            cached = {int(v): set() for v in self._vertex_ids.tolist()}
+            for s, d in zip(self._src.tolist(), self._dst.tolist()):
+                if direction in ("out", "both"):
+                    cached[s].add(d)
+                if direction in ("in", "both"):
+                    cached[d].add(s)
+            self._adjacency_cache[direction] = cached
+        return {v: set(neighbours) for v, neighbours in cached.items()}
+
+    def csr(self):
+        """Return the :class:`~repro.backends.csr.CSRGraph` view of this graph.
+
+        The compressed-sparse-row view (both out- and in-orientations) is
+        built once and cached on the instance; it is the input type of the
+        vectorized execution backend.
+        """
+        if self._csr_cache is None:
+            from ..backends.csr import CSRGraph
+
+            self._csr_cache = CSRGraph.from_graph(self)
+        return self._csr_cache

@@ -26,6 +26,11 @@ class EngineError(ReproError):
     """Raised when the BSP execution engine is misconfigured or fails."""
 
 
+class BackendError(ReproError):
+    """Raised when an execution backend is unknown, misused or produces
+    results that disagree with the reference backend."""
+
+
 class DatasetError(ReproError):
     """Raised when a dataset specification or generator is invalid."""
 

@@ -1,0 +1,102 @@
+"""Tests for the CSR view behind the vectorized backend."""
+
+import numpy as np
+import pytest
+
+from repro.backends.csr import CSRGraph
+from repro.core.graph import Graph
+
+
+class TestConstruction:
+    def test_dense_indices_cover_sorted_vertex_ids(self):
+        graph = Graph([10, 30, 30], [30, 10, 50], name="sparse-ids")
+        csr = CSRGraph.from_graph(graph)
+        assert csr.vertex_ids.tolist() == [10, 30, 50]
+        assert csr.num_vertices == 3
+        assert csr.num_edges == 3
+        assert csr.index_of([10, 30, 50]).tolist() == [0, 1, 2]
+
+    def test_out_orientation_matches_adjacency(self, small_social_graph):
+        csr = CSRGraph.from_graph(small_social_graph)
+        adjacency = small_social_graph.adjacency("out")
+        for index, vertex in enumerate(csr.vertex_ids.tolist()):
+            neighbours = csr.vertex_ids[csr.out_neighbors(index)]
+            assert set(neighbours.tolist()) == adjacency[vertex]
+
+    def test_in_orientation_matches_adjacency(self, small_social_graph):
+        csr = CSRGraph.from_graph(small_social_graph)
+        adjacency = small_social_graph.adjacency("in")
+        for index, vertex in enumerate(csr.vertex_ids.tolist()):
+            neighbours = csr.vertex_ids[csr.in_neighbors(index)]
+            assert set(neighbours.tolist()) == adjacency[vertex]
+
+    def test_rows_are_sorted(self, small_social_graph):
+        csr = CSRGraph.from_graph(small_social_graph)
+        for index in range(csr.num_vertices):
+            row = csr.out_neighbors(index)
+            assert np.all(row[:-1] <= row[1:])
+
+    def test_duplicate_edges_are_preserved(self):
+        graph = Graph([0, 0, 0], [1, 1, 2], name="dups")
+        csr = CSRGraph.from_graph(graph)
+        assert csr.out_degrees.tolist() == [3, 0, 0]
+        assert csr.out_neighbors(0).tolist() == [1, 1, 2]
+
+    def test_degrees_match_graph(self, small_social_graph):
+        csr = CSRGraph.from_graph(small_social_graph)
+        out_map = small_social_graph.out_degrees()
+        in_map = small_social_graph.in_degrees()
+        for index, vertex in enumerate(csr.vertex_ids.tolist()):
+            assert csr.out_degrees[index] == out_map[vertex]
+            assert csr.in_degrees[index] == in_map[vertex]
+
+    def test_empty_graph(self):
+        csr = CSRGraph.from_graph(Graph([], [], vertices=[1, 2]))
+        assert csr.num_vertices == 2
+        assert csr.num_edges == 0
+        assert csr.out_indptr.tolist() == [0, 0, 0]
+
+
+class TestCanonicalView:
+    def test_drops_self_loops_and_duplicates(self):
+        graph = Graph([0, 0, 1, 2, 2], [1, 1, 0, 2, 0], name="messy")
+        csr = CSRGraph.from_graph(graph)
+        indptr, indices = csr.canonical_csr()
+        # Canonical simple undirected edges: {0,1} and {0,2}.
+        assert indptr.tolist() == [0, 2, 3, 4]
+        assert indices.tolist() == [1, 2, 0, 0]
+
+    def test_symmetric_and_cached(self, clique_ring_graph):
+        csr = CSRGraph.from_graph(clique_ring_graph)
+        first = csr.canonical_csr()
+        assert csr.canonical_csr() is first
+        indptr, indices = first
+        canonical = clique_ring_graph.canonicalized()
+        assert indices.size == 2 * canonical.num_edges
+
+
+class TestGraphCache:
+    def test_graph_csr_is_cached(self, small_social_graph):
+        assert small_social_graph.csr() is small_social_graph.csr()
+
+    def test_degree_maps_cached_but_safe_to_mutate(self, small_social_graph):
+        first = small_social_graph.out_degrees()
+        vertex = next(iter(first))
+        first[vertex] += 1000
+        assert small_social_graph.out_degrees()[vertex] == first[vertex] - 1000
+
+    def test_degrees_unaffected_by_cache(self, small_social_graph):
+        total = small_social_graph.degrees()
+        out = small_social_graph.out_degrees()
+        inn = small_social_graph.in_degrees()
+        assert total == {v: out[v] + inn[v] for v in out}
+
+    def test_adjacency_cached_but_safe_to_mutate(self, small_social_graph):
+        first = small_social_graph.adjacency("both")
+        vertex = next(iter(first))
+        first[vertex].add(10**9)
+        assert 10**9 not in small_social_graph.adjacency("both")[vertex]
+
+    def test_adjacency_direction_rejected(self, small_social_graph):
+        with pytest.raises(Exception):
+            small_social_graph.adjacency("sideways")

@@ -1,0 +1,128 @@
+"""Vectorized kernels must reproduce the reference simulator's vertex values.
+
+The contract: bit-exact equality for CC, TR, SSSP and the degree kernels,
+floating-point equality (``pytest.approx``) for PageRank, on every graph
+of the zoo below — including duplicate edges, self-loops, isolated
+vertices and sparse non-contiguous vertex ids.
+"""
+
+import pytest
+
+from repro.algorithms.registry import run_algorithm
+from repro.algorithms.shortest_paths import choose_landmarks
+from repro.backends import get_backend, validate_backends
+from repro.core.graph import Graph
+from repro.datasets.generators import social_graph
+from repro.engine.partitioned_graph import PartitionedGraph
+
+
+def _random_graph():
+    return social_graph(
+        num_vertices=80,
+        num_edges=420,
+        exponent=2.3,
+        reciprocity=0.3,
+        triadic_closure=0.3,
+        connect=True,
+        seed=5,
+        name="zoo-random",
+    )
+
+
+def _path_graph():
+    return Graph.from_edges([(i, i + 1) for i in range(25)], name="zoo-path")
+
+
+def _star_graph():
+    edges = [(i, 0) for i in range(1, 12)] + [(0, i) for i in range(1, 4)]
+    return Graph.from_edges(edges, name="zoo-star")
+
+
+def _messy_graph():
+    # Duplicate edges, self loops, two components, an isolated vertex and
+    # sparse ids.
+    edges = [
+        (5, 9), (5, 9), (9, 5), (5, 5), (9, 100), (100, 101), (101, 100),
+        (100, 5), (200, 201), (201, 202), (202, 200), (202, 202),
+    ]
+    return Graph.from_edges(edges, vertices=[77], name="zoo-messy")
+
+
+GRAPH_BUILDERS = {
+    "random": _random_graph,
+    "path": _path_graph,
+    "star": _star_graph,
+    "messy": _messy_graph,
+}
+
+
+@pytest.fixture(params=sorted(GRAPH_BUILDERS), ids=sorted(GRAPH_BUILDERS))
+def zoo_pgraph(request):
+    graph = GRAPH_BUILDERS[request.param]()
+    return PartitionedGraph.partition(graph, "CRVC", 4)
+
+
+class TestAlgorithmEquivalence:
+    def test_pagerank_matches_reference(self, zoo_pgraph):
+        reference = run_algorithm("PR", zoo_pgraph, num_iterations=10)
+        vectorized = run_algorithm("PR", zoo_pgraph, num_iterations=10, backend="vectorized")
+        assert set(vectorized.vertex_values) == set(reference.vertex_values)
+        assert vectorized.num_supersteps == reference.num_supersteps
+        for vertex, expected in reference.vertex_values.items():
+            assert vectorized.vertex_values[vertex] == pytest.approx(expected)
+
+    @pytest.mark.parametrize("iterations", [3, 10, 50])
+    def test_connected_components_matches_reference(self, zoo_pgraph, iterations):
+        reference = run_algorithm("CC", zoo_pgraph, num_iterations=iterations)
+        vectorized = run_algorithm(
+            "CC", zoo_pgraph, num_iterations=iterations, backend="vectorized"
+        )
+        assert vectorized.vertex_values == reference.vertex_values
+        assert vectorized.num_supersteps == reference.num_supersteps
+
+    def test_triangle_count_matches_reference(self, zoo_pgraph):
+        reference = run_algorithm("TR", zoo_pgraph)
+        vectorized = run_algorithm("TR", zoo_pgraph, backend="vectorized")
+        assert vectorized.vertex_values == reference.vertex_values
+
+    def test_shortest_paths_matches_reference(self, zoo_pgraph):
+        landmarks = choose_landmarks(zoo_pgraph, count=3, seed=13)
+        reference = run_algorithm("SSSP", zoo_pgraph, landmarks=landmarks)
+        vectorized = run_algorithm("SSSP", zoo_pgraph, landmarks=landmarks, backend="vectorized")
+        assert vectorized.vertex_values == reference.vertex_values
+        assert vectorized.num_supersteps == reference.num_supersteps
+
+    def test_shortest_paths_default_landmarks_agree(self, zoo_pgraph):
+        reference = run_algorithm("SSSP", zoo_pgraph, landmark_seed=21)
+        vectorized = run_algorithm("SSSP", zoo_pgraph, landmark_seed=21, backend="vectorized")
+        assert vectorized.vertex_values == reference.vertex_values
+
+    @pytest.mark.parametrize("direction", ["out", "in", "both"])
+    def test_degrees_match_reference(self, zoo_pgraph, direction):
+        reference = get_backend("reference").degrees(zoo_pgraph, direction)
+        vectorized = get_backend("vectorized").degrees(zoo_pgraph, direction)
+        assert vectorized.vertex_values == reference.vertex_values
+
+
+class TestValidateBackends:
+    def test_full_zoo_validates(self, zoo_pgraph):
+        outcomes = validate_backends(zoo_pgraph)
+        assert sorted(outcomes) == ["CC", "PR", "SSSP", "TR"]
+        for runs in outcomes.values():
+            assert sorted(runs) == ["reference", "vectorized"]
+            assert runs["reference"].report is not None
+            assert runs["vectorized"].report is None
+            # Wall-clock timing is stamped uniformly by the backend layer.
+            assert runs["reference"].wall_seconds > 0.0
+            assert runs["vectorized"].wall_seconds > 0.0
+
+    def test_accepts_bare_graph(self):
+        outcomes = validate_backends(_star_graph(), algorithms=("PR", "CC"))
+        assert sorted(outcomes) == ["CC", "PR"]
+
+    def test_triangle_counts_on_clique_ring(self, clique_ring_graph):
+        pgraph = PartitionedGraph.partition(clique_ring_graph, "2D", 4)
+        outcomes = validate_backends(pgraph, algorithms=("TR",))
+        counts = outcomes["TR"]["vectorized"].vertex_values
+        # Every vertex of a 5-clique sits on at least C(4,2) = 6 triangles.
+        assert all(count >= 6 for count in counts.values())

@@ -27,6 +27,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--algorithm", "BFS"])
 
+    def test_lowercase_algorithm_accepted(self):
+        args = build_parser().parse_args(["run", "--algorithm", "sssp"])
+        assert args.algorithm == "SSSP"
+        args = build_parser().parse_args(["advise", "--dataset", "orkut", "--algorithm", "tr"])
+        assert args.algorithm == "TR"
+
+    def test_backend_flag(self):
+        args = build_parser().parse_args(["run", "--backend", "vectorized"])
+        assert args.backend == "vectorized"
+        args = build_parser().parse_args(["run"])
+        assert args.backend == "reference"
+        args = build_parser().parse_args(["advise", "--dataset", "orkut"])
+        assert args.backend is None
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--backend", "gpu"])
+
 
 class TestCommands:
     def test_characterize_prints_table(self, capsys):
@@ -61,6 +79,39 @@ class TestCommands:
         assert "Correlation of metrics" in output
         assert "Best partitioner per dataset" in output
 
+    def test_run_lowercase_algorithm(self, capsys):
+        exit_code = main(
+            [
+                "--scale", "0.05",
+                "run",
+                "--algorithm", "cc",
+                "--partitions", "4",
+                "--datasets", "youtube",
+                "--iterations", "2",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "CC" in output
+
+    def test_run_vectorized_backend(self, capsys):
+        exit_code = main(
+            [
+                "--scale", "0.05",
+                "run",
+                "--algorithm", "PR",
+                "--partitions", "4",
+                "--datasets", "youtube", "pocek",
+                "--iterations", "2",
+                "--backend", "vectorized",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "vectorized" in output
+        assert "wall-clock" in output
+        assert "Correlation of metrics" not in output
+
     def test_advise_heuristic_mode(self, capsys):
         exit_code = main(["--scale", "0.05", "advise", "--dataset", "orkut", "--algorithm", "PR"])
         output = capsys.readouterr().out
@@ -80,3 +131,20 @@ class TestCommands:
         output = capsys.readouterr().out
         assert exit_code == 0
         assert "cut" in output
+
+    def test_advise_with_backend_runs_recommendation(self, capsys):
+        exit_code = main(
+            [
+                "--scale", "0.05",
+                "advise",
+                "--dataset", "youtube",
+                "--algorithm", "pr",
+                "--partitions", "4",
+                "--backend", "vectorized",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "[PR]" in output
+        assert "backend 'vectorized'" in output
+        assert "wall-clock" in output
