@@ -1,0 +1,133 @@
+"""E-extra — Partitioning pipeline: seed dict path vs array-native path.
+
+Times the replication pipeline (vertex-membership build + Section 3.1
+metrics + routing-table construction) under the seed ``Dict[int,
+frozenset]`` implementation and under the ``VertexMembership`` array path,
+for every catalog dataset at the paper's two granularities (128 and 256
+partitions), and reports the speedups as a JSON document in the style of
+``bench_backends.py``.
+
+The acceptance bar is a >= 10x speedup for ``compute_metrics`` + routing
+construction on the largest catalog dataset at 256 partitions; in practice
+the array path lands far above it because the seed cost is a per-edge
+Python loop followed by a per-replica Python loop, while the array path is
+one ``np.unique`` plus a handful of ``bincount``/mask reductions.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.engine.routing import RoutingTable
+from repro.metrics.partition_metrics import (
+    compute_metrics,
+    compute_metrics_reference,
+)
+from repro.partitioning.base import EdgePartitionAssignment
+from repro.partitioning.registry import make_partitioner
+
+from bench_utils import print_header
+
+from conftest import CONFIG_I_PARTITIONS, CONFIG_II_PARTITIONS
+
+#: Strategy used for the placement being measured.  The pipeline cost is
+#: independent of which partitioner produced the placement, so one cheap
+#: hash strategy keeps the sweep focused on the metrics/routing work.
+PARTITIONER = "2D"
+
+GRANULARITIES = (CONFIG_I_PARTITIONS, CONFIG_II_PARTITIONS)
+
+
+def _fresh_assignment(graph, placement, num_partitions):
+    """A new assignment with no cached membership/dicts, for honest timing."""
+    return EdgePartitionAssignment(
+        graph=graph,
+        num_partitions=num_partitions,
+        partition_of=placement,
+        strategy_name=PARTITIONER,
+    )
+
+
+def _time_dict_path(graph, placement, num_partitions):
+    """Seed pipeline: per-edge dict build + per-vertex metric loop + dict routing."""
+    assignment = _fresh_assignment(graph, placement, num_partitions)
+    started = time.perf_counter()
+    vertex_partitions = assignment.vertex_partitions_reference()
+    metrics = compute_metrics_reference(assignment, vertex_partitions)
+    routing = RoutingTable.from_vertex_partitions(num_partitions, vertex_partitions)
+    elapsed = time.perf_counter() - started
+    return metrics, routing, elapsed
+
+
+def _time_array_path(graph, placement, num_partitions):
+    """Array pipeline: one VertexMembership build shared by metrics + routing."""
+    assignment = _fresh_assignment(graph, placement, num_partitions)
+    started = time.perf_counter()
+    metrics = compute_metrics(assignment)
+    routing = RoutingTable.from_assignment(assignment)
+    elapsed = time.perf_counter() - started
+    return metrics, routing, elapsed
+
+
+def _sweep(all_graphs):
+    report = {
+        "benchmark": "partitioning_pipeline",
+        "partitioner": PARTITIONER,
+        "granularities": list(GRANULARITIES),
+        "datasets": {
+            name: {"vertices": graph.num_vertices, "edges": graph.num_edges}
+            for name, graph in all_graphs.items()
+        },
+        "results": [],
+    }
+    for name, graph in all_graphs.items():
+        for num_partitions in GRANULARITIES:
+            placement = make_partitioner(PARTITIONER).assign(graph, num_partitions).partition_of
+            dict_metrics, dict_routing, dict_seconds = _time_dict_path(
+                graph, placement, num_partitions
+            )
+            array_metrics, array_routing, array_seconds = _time_array_path(
+                graph, placement, num_partitions
+            )
+            # The speedup only counts if the outputs are identical.
+            assert array_metrics == dict_metrics
+            assert array_routing.replicas == dict_routing.replicas
+            assert array_routing.masters == dict_routing.masters
+            speedup = dict_seconds / array_seconds if array_seconds > 0 else float("inf")
+            report["results"].append(
+                {
+                    "dataset": name,
+                    "num_partitions": num_partitions,
+                    "dict_seconds": round(dict_seconds, 6),
+                    "array_seconds": round(array_seconds, 6),
+                    "speedup": round(speedup, 1),
+                }
+            )
+    return report
+
+
+def test_pipeline_speedups(benchmark, all_graphs):
+    """Seed dict pipeline vs array pipeline across the catalog x granularities."""
+    report = benchmark.pedantic(_sweep, args=(all_graphs,), rounds=1, iterations=1)
+    print_header("Partitioning pipeline — seed dict path vs VertexMembership arrays")
+    print(json.dumps(report, indent=2))
+    benchmark.extra_info["pipeline_report"] = report
+
+    largest = max(all_graphs, key=lambda name: all_graphs[name].num_edges)
+    bar_row = next(
+        row
+        for row in report["results"]
+        if row["dataset"] == largest and row["num_partitions"] == CONFIG_II_PARTITIONS
+    )
+    print(
+        f"\nLargest dataset {largest!r} at {CONFIG_II_PARTITIONS} partitions: "
+        f"metrics+routing speedup {bar_row['speedup']:.0f}x (acceptance bar: 10x)"
+    )
+    assert bar_row["speedup"] >= 10.0
+
+    # The array path should win on every dataset at every granularity.
+    slower = [row for row in report["results"] if row["speedup"] < 1.0]
+    assert not slower, f"array path slower than the seed dicts for: {slower}"

@@ -72,6 +72,8 @@ from .metrics import PartitioningMetrics, compute_metrics
 from .partitioning import (
     EXTENSION_PARTITIONER_NAMES,
     PAPER_PARTITIONER_NAMES,
+    VertexMembership,
+    canonical_partitioner_name,
     make_partitioner,
     paper_partitioners,
 )
@@ -102,7 +104,9 @@ __all__ = [
     "Recommendation",
     "ReproError",
     "RunRecord",
+    "VertexMembership",
     "available_backends",
+    "canonical_partitioner_name",
     "compute_metrics",
     "connected_components",
     "degree_count",

@@ -29,7 +29,11 @@ from ..core.graph import Graph
 from ..core.properties import GraphSummary, summarize
 from ..errors import AnalysisError
 from ..metrics.partition_metrics import PartitioningMetrics, compute_metrics
-from ..partitioning.registry import PAPER_PARTITIONER_NAMES, make_partitioner
+from ..partitioning.registry import (
+    PAPER_PARTITIONER_NAMES,
+    canonical_partitioner_name,
+    make_partitioner,
+)
 
 __all__ = ["Recommendation", "recommend_partitioner", "recommend_empirically"]
 
@@ -156,7 +160,11 @@ def recommend_empirically(
     """
     key = _normalise_algorithm(algorithm)
     metric = algorithm_metric_of_interest(key)
-    names = list(PAPER_PARTITIONER_NAMES) if candidates is None else list(candidates)
+    names = (
+        list(PAPER_PARTITIONER_NAMES)
+        if candidates is None
+        else [canonical_partitioner_name(name) for name in candidates]
+    )
     if not names:
         raise AnalysisError("at least one candidate partitioner is required")
 

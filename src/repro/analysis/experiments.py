@@ -25,7 +25,11 @@ from ..engine.cost_model import CostParameters
 from ..engine.partitioned_graph import PartitionedGraph
 from ..errors import AnalysisError
 from ..metrics.partition_metrics import PartitioningMetrics, compute_metrics
-from ..partitioning.registry import PAPER_PARTITIONER_NAMES, make_partitioner
+from ..partitioning.registry import (
+    PAPER_PARTITIONER_NAMES,
+    canonical_partitioner_name,
+    make_partitioner,
+)
 from .results import RunRecord
 
 __all__ = [
@@ -67,6 +71,9 @@ class ExperimentConfig:
             raise AnalysisError("scale must be positive")
         if self.num_iterations < 1:
             raise AnalysisError("num_iterations must be >= 1")
+        # Strategy names are case-insensitive everywhere they are parsed;
+        # records and tables always carry the canonical registry spelling.
+        self.partitioners = [canonical_partitioner_name(name) for name in self.partitioners]
 
 
 def _resolve_graphs(
@@ -93,7 +100,10 @@ def run_partitioning_study(
 ) -> Dict[str, List[PartitioningMetrics]]:
     """Compute Table 2/3: metrics of every partitioner on every dataset."""
     dataset_names = list(datasets or PAPER_DATASET_NAMES)
-    partitioner_names = list(partitioners or PAPER_PARTITIONER_NAMES)
+    partitioner_names = [
+        canonical_partitioner_name(name)
+        for name in (partitioners or PAPER_PARTITIONER_NAMES)
+    ]
     resolved = _resolve_graphs(dataset_names, scale, seed, graphs)
 
     table: Dict[str, List[PartitioningMetrics]] = {}
@@ -103,6 +113,9 @@ def run_partitioning_study(
         for partitioner_name in partitioner_names:
             strategy = make_partitioner(partitioner_name)
             assignment = strategy.assign(graph, num_partitions)
+            # compute_metrics consumes the assignment's cached
+            # VertexMembership arrays; no per-vertex dicts are built on
+            # this path even at the paper's 128/256 granularities.
             rows.append(compute_metrics(assignment))
         table[dataset_name] = rows
     return table

@@ -20,7 +20,7 @@ from ..engine.cost_model import CostParameters
 from ..engine.partitioned_graph import PartitionedGraph
 from ..errors import AnalysisError
 from ..metrics.partition_metrics import PartitioningMetrics
-from ..partitioning.registry import PAPER_PARTITIONER_NAMES
+from ..partitioning.registry import PAPER_PARTITIONER_NAMES, canonical_partitioner_name
 
 __all__ = ["GranularityPoint", "GranularitySweep", "sweep_granularity"]
 
@@ -98,7 +98,10 @@ def sweep_granularity(
         raise AnalysisError("partition_counts must not be empty")
     if any(n < 1 for n in partition_counts):
         raise AnalysisError("partition counts must be >= 1")
-    names = list(partitioners or PAPER_PARTITIONER_NAMES)
+    names = [
+        canonical_partitioner_name(name)
+        for name in (partitioners or PAPER_PARTITIONER_NAMES)
+    ]
 
     sweep = GranularitySweep(dataset=graph.name or "graph", algorithm=algorithm)
     for num_partitions in partition_counts:

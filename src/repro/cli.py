@@ -30,9 +30,19 @@ from .backends import available_backends, get_backend
 from .datasets.catalog import PAPER_DATASET_NAMES, load_dataset
 from .datasets.characterization import build_table1, format_table1
 from .engine.partitioned_graph import PartitionedGraph
+from .errors import PartitioningError
 from .metrics.report import format_metrics_table, format_table
+from .partitioning.registry import canonical_partitioner_name
 
 __all__ = ["main", "build_parser"]
+
+
+def _partitioner_name(name: str) -> str:
+    """argparse type: resolve strategy names case-insensitively ("rvc" -> "RVC")."""
+    try:
+        return canonical_partitioner_name(name)
+    except PartitioningError as error:
+        raise argparse.ArgumentTypeError(str(error))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,6 +60,13 @@ def build_parser() -> argparse.ArgumentParser:
     metrics_parser = subparsers.add_parser("metrics", help="print Table 2/3 partitioning metrics")
     metrics_parser.add_argument("--partitions", type=int, default=128)
     metrics_parser.add_argument("--datasets", nargs="*", default=None)
+    metrics_parser.add_argument(
+        "--partitioners",
+        nargs="+",
+        type=_partitioner_name,
+        default=None,
+        help="strategy names, case-insensitive (default: the paper's six)",
+    )
 
     run_parser = subparsers.add_parser("run", help="run an algorithm sweep (Figures 3-6)")
     # type=str.upper runs before the choices check, so lowercase
@@ -59,6 +76,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--partitions", type=int, default=128)
     run_parser.add_argument("--datasets", nargs="*", default=None)
+    run_parser.add_argument(
+        "--partitioners",
+        nargs="+",
+        type=_partitioner_name,
+        default=None,
+        help="strategy names, case-insensitive (default: the paper's six)",
+    )
     run_parser.add_argument("--iterations", type=int, default=10)
     run_parser.add_argument(
         "--backend",
@@ -91,6 +115,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     table = run_partitioning_study(
         num_partitions=args.partitions,
         datasets=args.datasets or PAPER_DATASET_NAMES,
+        partitioners=args.partitioners,
         scale=args.scale,
         seed=args.seed,
     )
@@ -99,6 +124,9 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    config_kwargs = {}
+    if args.partitioners:
+        config_kwargs["partitioners"] = args.partitioners
     config = ExperimentConfig(
         algorithm=args.algorithm,
         num_partitions=args.partitions,
@@ -107,6 +135,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         num_iterations=args.iterations,
         backend=args.backend,
+        **config_kwargs,
     )
     records = run_algorithm_study(config)
     print(format_table(records_to_rows(records)))

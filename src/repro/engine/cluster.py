@@ -10,6 +10,9 @@ the cost model can reproduce the relative effects.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import lru_cache
+
+import numpy as np
 
 from ..errors import EngineError
 
@@ -66,6 +69,14 @@ class ClusterConfig:
         """Executor that hosts a given partition (round-robin placement)."""
         return partition_id % self.num_executors
 
+    def executor_map(self, num_partitions: int) -> np.ndarray:
+        """Executor of every partition id in ``[0, num_partitions)`` as an array.
+
+        Cached per (cluster, partition count) so the engine's vectorised
+        counters can index it every superstep for free.
+        """
+        return _executor_map(self.num_executors, num_partitions)
+
     def with_network(self, network_gbps: float) -> "ClusterConfig":
         """Return a copy of this cluster with a different network speed."""
         return replace(self, network_gbps=network_gbps, name=f"{self.name}-{network_gbps:g}gbps")
@@ -73,6 +84,13 @@ class ClusterConfig:
     def with_storage(self, storage: str) -> "ClusterConfig":
         """Return a copy of this cluster with a different storage medium."""
         return replace(self, storage=storage, name=f"{self.name}-{storage}")
+
+
+@lru_cache(maxsize=64)
+def _executor_map(num_executors: int, num_partitions: int) -> np.ndarray:
+    executors = np.arange(num_partitions, dtype=np.int64) % num_executors
+    executors.setflags(write=False)
+    return executors
 
 
 def paper_cluster(network_gbps: float = 1.0, storage: str = "hdd") -> ClusterConfig:

@@ -13,7 +13,9 @@ granularities is what the model is calibrated to preserve.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import List, Sequence
+
+import numpy as np
 
 from .cluster import ClusterConfig
 
@@ -152,23 +154,21 @@ class CostModel:
         the effect the paper observes for configurations (i) vs (ii).
         """
         params = self.parameters
-        per_executor_units: Dict[int, float] = {}
-        per_executor_max: Dict[int, float] = {}
-        per_executor_tasks: Dict[int, int] = {}
-        for partition_id, units in enumerate(partition_units):
-            executor = self.cluster.executor_of_partition(partition_id)
-            per_executor_units[executor] = per_executor_units.get(executor, 0.0) + units
-            per_executor_max[executor] = max(per_executor_max.get(executor, 0.0), units)
-            per_executor_tasks[executor] = per_executor_tasks.get(executor, 0) + 1
-        worst = 0.0
-        for executor, units in per_executor_units.items():
-            tasks = per_executor_tasks[executor]
-            cores = self.cluster.cores_per_executor
-            makespan_units = max(units / cores, per_executor_max[executor])
-            seconds = params.compute_seconds(makespan_units)
-            seconds += params.task_overhead_seconds * tasks / cores
-            worst = max(worst, seconds)
-        return worst
+        units = np.asarray(partition_units, dtype=np.float64)
+        if not units.size:
+            return 0.0
+        executors = self.cluster.executor_map(units.size)
+        num_executors = self.cluster.num_executors
+        per_executor_units = np.bincount(executors, weights=units, minlength=num_executors)
+        per_executor_max = np.zeros(num_executors, dtype=np.float64)
+        np.maximum.at(per_executor_max, executors, units)
+        per_executor_tasks = np.bincount(executors, minlength=num_executors)
+        active = per_executor_tasks > 0
+        cores = self.cluster.cores_per_executor
+        makespan_units = np.maximum(per_executor_units / cores, per_executor_max)
+        seconds = params.compute_seconds(makespan_units)
+        seconds += params.task_overhead_seconds * per_executor_tasks / cores
+        return float(seconds[active].max()) if active.any() else 0.0
 
     def network_seconds(self, messages_remote: int, messages_local: int, bytes_remote: int) -> float:
         """Communication time for one superstep (network transfer + shuffle spill)."""

@@ -8,7 +8,7 @@ vertex mirror set).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -22,7 +22,7 @@ class EdgePartition:
     partition_id: int
     src: np.ndarray
     dst: np.ndarray
-    vertex_ids: np.ndarray = field(default=None)
+    vertex_ids: Optional[np.ndarray] = field(default=None)
 
     def __post_init__(self) -> None:
         self.src = np.asarray(self.src, dtype=np.int64)

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Union
 
+import numpy as np
+
 from ..core.graph import Graph
 from ..core.properties import estimated_size_bytes
 from ..errors import EngineError
@@ -58,16 +60,30 @@ class PartitionedGraph:
     # ------------------------------------------------------------------
     @property
     def partitions(self) -> List[EdgePartition]:
-        """The edge partitions (built lazily, cached)."""
+        """The edge partitions (built lazily, cached).
+
+        One stable argsort groups the edge arrays by partition (preserving
+        the original edge order inside each partition, as the seed's bucket
+        loop did); the per-partition vertex mirror lists come straight from
+        the assignment's :class:`VertexMembership` instead of a per-partition
+        ``np.unique`` over the endpoints.
+        """
         if self._partitions is None:
-            buckets_src: List[list] = [[] for _ in range(self.num_partitions)]
-            buckets_dst: List[list] = [[] for _ in range(self.num_partitions)]
-            parts = self.assignment.partition_of.tolist()
-            for s, d, p in zip(self.graph.src.tolist(), self.graph.dst.tolist(), parts):
-                buckets_src[p].append(s)
-                buckets_dst[p].append(d)
+            partition_of = self.assignment.partition_of
+            order = np.argsort(partition_of, kind="stable")
+            src_sorted = self.graph.src[order]
+            dst_sorted = self.graph.dst[order]
+            bounds = np.searchsorted(
+                partition_of[order], np.arange(self.num_partitions + 1)
+            )
+            membership = self.assignment.membership()
             self._partitions = [
-                EdgePartition(partition_id=pid, src=buckets_src[pid], dst=buckets_dst[pid])
+                EdgePartition(
+                    partition_id=pid,
+                    src=src_sorted[bounds[pid]:bounds[pid + 1]],
+                    dst=dst_sorted[bounds[pid]:bounds[pid + 1]],
+                    vertex_ids=membership.vertices_of_partition(pid),
+                )
                 for pid in range(self.num_partitions)
             ]
         return self._partitions

@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
+import numpy as np
+
 from ..errors import EngineError
 from .cluster import ClusterConfig, paper_cluster
 from .cost_model import CostModel, CostParameters, SimulationReport
@@ -80,7 +82,10 @@ def _route_and_merge(
 
     Returns ``(merged_messages, remote_count, local_count)``.
     """
-    routing = pgraph.routing
+    # One dict materialisation per PartitionedGraph (cached on the routing
+    # table); the per-message loop below is inherently scalar because the
+    # message payloads are arbitrary Python objects.
+    masters = pgraph.routing.masters
     merged: Dict[int, Any] = {}
     remote = 0
     local = 0
@@ -90,7 +95,7 @@ def _route_and_merge(
         from_executor = cluster.executor_of_partition(partition_id)
         for target, message in outbox.items():
             partition_units[partition_id] += _MESSAGE_SERIALIZE_UNITS
-            master = routing.master_of(target)
+            master = masters[target]
             if master != partition_id:
                 if cluster.executor_of_partition(master) != from_executor:
                     remote += 1
@@ -112,22 +117,21 @@ def _broadcast_updates(
     """Push updated master values to every replica partition.
 
     Returns ``(remote_count, local_count)``.  The volume of this broadcast
-    is what the CommCost metric approximates.
+    is what the CommCost metric approximates.  The plan is computed as one
+    array pass over the routing table's replication CSR rather than a
+    per-vertex Python loop.
     """
     routing = pgraph.routing
-    remote = 0
-    local = 0
-    for vertex in updated_vertices:
-        master = routing.master_of(vertex)
-        master_executor = cluster.executor_of_partition(master)
-        for partition in routing.replica_partitions(vertex):
-            if partition == master:
-                continue
-            partition_units[partition] += _SYNC_APPLY_UNITS
-            if cluster.executor_of_partition(partition) != master_executor:
-                remote += 1
-            else:
-                local += 1
+    vertices = np.fromiter(updated_vertices, dtype=np.int64)
+    parts, masters = routing.replica_sync_pairs(vertices)
+    if not parts.size:
+        return 0, 0
+    executor_of = cluster.executor_map(routing.num_partitions)
+    remote = int((executor_of[parts] != executor_of[masters]).sum())
+    local = int(parts.size - remote)
+    sync_units = np.bincount(parts, minlength=len(partition_units))
+    for partition in np.flatnonzero(sync_units).tolist():
+        partition_units[partition] += _SYNC_APPLY_UNITS * int(sync_units[partition])
     return remote, local
 
 

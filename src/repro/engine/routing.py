@@ -5,51 +5,129 @@ partitions hold a copy of every vertex; the BSP engine uses it both to ship
 aggregated messages to masters and to broadcast updated vertex state back
 to replicas.  The number of those broadcasts is exactly the paper's
 Communication Cost metric.
+
+The table is array-native: it shares the CSR pair arrays of
+:class:`~repro.partitioning.membership.VertexMembership` and a vectorised
+master assignment, so constructing it costs one ``np.unique`` + one hash
+pass instead of the seed implementation's per-vertex dict build.  The
+``replicas`` / ``masters`` dict attributes of the seed API survive as
+lazily-expanded shims.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
-from ..metrics.partition_metrics import master_partition
+import numpy as np
+
 from ..partitioning.base import EdgePartitionAssignment
+from ..partitioning.membership import VertexMembership, master_partition_array
 
 __all__ = ["RoutingTable"]
 
 
-@dataclass
 class RoutingTable:
     """Replica locations and master assignment for every vertex."""
 
-    num_partitions: int
-    replicas: Dict[int, Tuple[int, ...]]
-    masters: Dict[int, int]
+    def __init__(
+        self,
+        num_partitions: int,
+        membership: VertexMembership,
+        all_vertex_ids: np.ndarray,
+    ) -> None:
+        self.num_partitions = num_partitions
+        self.membership = membership
+        self._all_vertex_ids = np.asarray(all_vertex_ids, dtype=np.int64)
+        #: Master partition of every placed vertex, aligned with
+        #: ``membership.vertices`` (computed eagerly: it is the half of the
+        #: table the seed implementation hashed vertex-by-vertex).
+        self.master_of_placed = membership.masters
+        self._replicas: Optional[Dict[int, Tuple[int, ...]]] = None
+        self._masters: Optional[Dict[int, int]] = None
 
     @classmethod
     def from_assignment(cls, assignment: EdgePartitionAssignment) -> "RoutingTable":
         """Build the routing table implied by an edge partition assignment."""
-        num_partitions = assignment.num_partitions
-        replicas = {
-            vertex: tuple(sorted(parts))
-            for vertex, parts in assignment.vertex_partitions().items()
-        }
-        masters = {
-            vertex: master_partition(vertex, num_partitions) for vertex in replicas
-        }
-        return cls(num_partitions=num_partitions, replicas=replicas, masters=masters)
+        return cls(
+            num_partitions=assignment.num_partitions,
+            membership=assignment.membership(),
+            all_vertex_ids=assignment.graph.vertex_ids,
+        )
 
+    @classmethod
+    def from_vertex_partitions(
+        cls,
+        num_partitions: int,
+        vertex_partitions: Dict[int, frozenset],
+    ) -> "RoutingTable":
+        """Seed dict-walking constructor, kept for equivalence tests/benchmarks.
+
+        Builds the ``replicas`` / ``masters`` dicts exactly as the seed
+        ``from_assignment`` did, then wraps them in the array representation.
+        """
+        from ..metrics.partition_metrics import master_partition
+
+        replicas = {
+            vertex: tuple(sorted(parts)) for vertex, parts in vertex_partitions.items()
+        }
+        masters = {vertex: master_partition(vertex, num_partitions) for vertex in replicas}
+        all_ids = np.array(sorted(replicas), dtype=np.int64)
+        pair_vertex = np.array(
+            [v for v, parts in sorted(replicas.items()) for _ in parts], dtype=np.int64
+        )
+        pair_partition = np.array(
+            [p for _, parts in sorted(replicas.items()) for p in parts], dtype=np.int64
+        )
+        table = cls(num_partitions, VertexMembership(pair_vertex, pair_partition, num_partitions), all_ids)
+        table._replicas = replicas
+        table._masters = masters
+        return table
+
+    # ------------------------------------------------------------------
+    # Dict shims (deprecated): the seed API expanded on demand.
+    # ------------------------------------------------------------------
+    @property
+    def replicas(self) -> Dict[int, Tuple[int, ...]]:
+        """``{vertex: sorted partitions holding a copy}`` for every graph vertex.
+
+        .. deprecated:: compatibility shim over the CSR arrays; prefer
+           :attr:`membership` (``partitions_of`` / ``expand``) or the bulk
+           accessors :meth:`replica_sync_pairs` / :meth:`sync_message_counts`.
+        """
+        if self._replicas is None:
+            self._replicas = self.membership.to_dict(self._all_vertex_ids, factory=tuple)
+        return self._replicas
+
+    @property
+    def masters(self) -> Dict[int, int]:
+        """``{vertex: master partition}`` for every graph vertex (shim)."""
+        if self._masters is None:
+            masters_all = master_partition_array(self._all_vertex_ids, self.num_partitions)
+            self._masters = dict(
+                zip(self._all_vertex_ids.tolist(), masters_all.tolist())
+            )
+        return self._masters
+
+    # ------------------------------------------------------------------
+    # Scalar accessors (seed API, unchanged semantics).
+    # ------------------------------------------------------------------
     def replica_partitions(self, vertex: int) -> Tuple[int, ...]:
         """Partitions that hold a copy of ``vertex`` (empty for isolated vertices)."""
-        return self.replicas.get(vertex, ())
+        return tuple(self.membership.partitions_of(vertex).tolist())
 
     def master_of(self, vertex: int) -> int:
-        """Partition that owns the master copy of ``vertex``."""
+        """Partition that owns the master copy of ``vertex``.
+
+        Goes through the cached :attr:`masters` dict (built once, then O(1)
+        per call) because callers like the triangle-count simulation query
+        it per cut vertex; raises ``KeyError`` for unknown vertices, as the
+        seed dict did.
+        """
         return self.masters[vertex]
 
     def replication_count(self, vertex: int) -> int:
         """Number of partitions holding a copy of ``vertex``."""
-        return len(self.replicas.get(vertex, ()))
+        return int(self.membership.partitions_of(vertex).size)
 
     def sync_message_count(self, vertex: int) -> int:
         """Messages needed to push the master value of ``vertex`` to its replicas.
@@ -57,6 +135,43 @@ class RoutingTable:
         The master partition does not need to message itself, so the count
         is the number of replica partitions different from the master.
         """
-        master = self.masters.get(vertex)
-        parts = self.replicas.get(vertex, ())
-        return sum(1 for p in parts if p != master)
+        parts = self.membership.partitions_of(vertex)
+        if not parts.size:
+            return 0
+        master = master_partition_array(np.int64(vertex), self.num_partitions)
+        return int((parts != master).sum())
+
+    # ------------------------------------------------------------------
+    # Array-native accessors used by the engine and the metrics.
+    # ------------------------------------------------------------------
+    def sync_message_counts(self) -> np.ndarray:
+        """Per-placed-vertex replica broadcast counts (aligned with
+        ``membership.vertices``); summing this is the engine-side CommCost."""
+        membership = self.membership
+        non_master = membership.pair_partition != np.repeat(
+            self.master_of_placed, membership.counts
+        )
+        segments = np.repeat(
+            np.arange(membership.num_placed_vertices), membership.counts
+        )
+        return np.bincount(
+            segments[non_master], minlength=membership.num_placed_vertices
+        ).astype(np.int64)
+
+    def replica_sync_pairs(self, vertex_ids: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """``(replica_partition, master_partition)`` rows for every non-master
+        replica of ``vertex_ids`` — the per-superstep broadcast plan.
+
+        Vertices that are not placed in any partition contribute no rows.
+        """
+        membership = self.membership
+        idx = membership.indices_of(vertex_ids)
+        idx = idx[idx >= 0]
+        if not idx.size:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy()
+        positions, counts = membership.expand(idx)
+        parts = membership.pair_partition[positions]
+        masters = np.repeat(self.master_of_placed[idx], counts)
+        keep = parts != masters
+        return parts[keep], masters[keep]

@@ -10,11 +10,13 @@ from .hash_partitioners import (
 )
 from .hashing import MIXING_PRIME, hash_pair, mix64
 from .hybrid import HybridCut
+from .membership import VertexMembership, master_partition_array
 from .modulo_partitioners import DestinationCut, SourceCut
 from .registry import (
     EXTENSION_PARTITIONER_NAMES,
     PAPER_PARTITIONER_NAMES,
     available_partitioners,
+    canonical_partitioner_name,
     extension_partitioners,
     make_partitioner,
     paper_partitioners,
@@ -24,6 +26,8 @@ from .streaming import FennelEdgePartitioner
 __all__ = [
     "EdgePartitionAssignment",
     "PartitionStrategy",
+    "VertexMembership",
+    "master_partition_array",
     "RandomVertexCut",
     "CanonicalRandomVertexCut",
     "EdgePartition1D",
@@ -41,6 +45,7 @@ __all__ = [
     "PAPER_PARTITIONER_NAMES",
     "EXTENSION_PARTITIONER_NAMES",
     "available_partitioners",
+    "canonical_partitioner_name",
     "extension_partitioners",
     "make_partitioner",
     "paper_partitioners",

@@ -10,15 +10,26 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, Optional
 
 import numpy as np
 
 from ..core.graph import Graph
 from ..core.validation import require_positive_partitions
 from ..errors import PartitioningError
+from .membership import VertexMembership
 
-__all__ = ["PartitionStrategy", "EdgePartitionAssignment"]
+__all__ = ["PartitionStrategy", "EdgePartitionAssignment", "parts_index_array"]
+
+
+def parts_index_array(parts: set) -> np.ndarray:
+    """A vertex's partition set as an index array for vectorised scoring.
+
+    Shared by the streaming strategies (Greedy, HDRF, Fennel), which keep
+    sparse per-vertex partition sets but score partitions with numpy
+    fancy indexing.
+    """
+    return np.fromiter(parts, dtype=np.int64, count=len(parts))
 
 
 @dataclass
@@ -42,7 +53,10 @@ class EdgePartitionAssignment:
     num_partitions: int
     partition_of: np.ndarray
     strategy_name: str = ""
-    _vertex_partitions: Dict[int, frozenset] = field(default=None, repr=False, compare=False)
+    _membership: Optional[VertexMembership] = field(default=None, repr=False, compare=False)
+    _vertex_partitions: Optional[Dict[int, frozenset]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self.partition_of = np.asarray(self.partition_of, dtype=np.int64)
@@ -67,16 +81,41 @@ class EdgePartitionAssignment:
         """Indices of the edges placed in ``partition_id``."""
         return np.nonzero(self.partition_of == partition_id)[0]
 
+    def membership(self) -> VertexMembership:
+        """The array-native vertex replication relation (built once, cached).
+
+        This is the representation the metrics, routing tables and engine
+        consume; the dict-returning accessors below are shims kept for API
+        compatibility with the seed implementation.
+        """
+        if self._membership is None:
+            self._membership = VertexMembership.from_edges(
+                self.graph.src, self.graph.dst, self.partition_of, self.num_partitions
+            )
+        return self._membership
+
     def vertex_partitions(self) -> Dict[int, frozenset]:
         """Map every vertex to the set of partitions that contain a copy of it.
 
         A vertex is present in a partition whenever at least one of its
         edges is assigned there.  Isolated vertices map to an empty set.
-        The result is cached because the metric computations and the
-        routing tables of the engine both need it.
+
+        .. deprecated::
+            This dict expansion is a compatibility shim over
+            :meth:`membership`; new code should consume the
+            :class:`~repro.partitioning.membership.VertexMembership` arrays
+            directly.  The result is cached.
         """
-        if self._vertex_partitions is not None:
-            return self._vertex_partitions
+        if self._vertex_partitions is None:
+            self._vertex_partitions = self.membership().to_dict(self.graph.vertex_ids)
+        return self._vertex_partitions
+
+    def vertex_partitions_reference(self) -> Dict[int, frozenset]:
+        """Seed per-edge dict implementation of :meth:`vertex_partitions`.
+
+        Kept (uncached) as the ground truth for the equivalence tests and
+        the ``bench_partitioning_pipeline`` seed-vs-array comparison.
+        """
         membership: Dict[int, set] = {int(v): set() for v in self.graph.vertex_ids.tolist()}
         src = self.graph.src.tolist()
         dst = self.graph.dst.tolist()
@@ -84,8 +123,7 @@ class EdgePartitionAssignment:
         for s, d, p in zip(src, dst, parts):
             membership[s].add(p)
             membership[d].add(p)
-        self._vertex_partitions = {v: frozenset(ps) for v, ps in membership.items()}
-        return self._vertex_partitions
+        return {v: frozenset(ps) for v, ps in membership.items()}
 
     def replication_counts(self) -> Dict[int, int]:
         """Map every vertex to its number of copies across partitions."""
@@ -103,7 +141,14 @@ class PartitionStrategy(abc.ABC):
         """Return the partition id for one edge ``src -> dst``."""
 
     def assign_array(self, src: np.ndarray, dst: np.ndarray, num_partitions: int) -> np.ndarray:
-        """Vectorised edge placement; the default falls back to the scalar method."""
+        """Vectorised edge placement; the default falls back to the scalar method.
+
+        The fallback deliberately calls :meth:`partition_edge` once per edge
+        in stream order — subclasses may be stateful — so it stays scalar;
+        every registry strategy overrides either this method with true array
+        placement or :meth:`assign` wholesale, making this purely the
+        compatibility path for third-party strategies.
+        """
         return np.fromiter(
             (self.partition_edge(int(s), int(d), num_partitions) for s, d in zip(src, dst)),
             dtype=np.int64,

@@ -1,0 +1,43 @@
+"""Shared degree-context table for the degree-aware partitioners.
+
+DBH anchors edges by total endpoint degree and HybridCut splits on
+destination in-degree; both need the same machinery — a bincount over
+sorted vertex ids, a vectorised gather for ``assign_array`` and a scalar
+lookup (with a zero default for unknown vertices) for ``partition_edge``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DegreeLookup"]
+
+
+class DegreeLookup:
+    """Degree of every vertex, keyed by position in a sorted id array."""
+
+    def __init__(self, vertex_ids: np.ndarray, degrees: np.ndarray) -> None:
+        self.vertex_ids = vertex_ids
+        self.degrees = degrees
+
+    @classmethod
+    def count(cls, vertex_ids: np.ndarray, endpoints: np.ndarray) -> "DegreeLookup":
+        """Count how often each vertex appears in ``endpoints``.
+
+        ``vertex_ids`` must be sorted and cover every endpoint (which
+        ``Graph.vertex_ids`` guarantees for the graph's own edge arrays).
+        """
+        positions = np.searchsorted(vertex_ids, endpoints)
+        degrees = np.bincount(positions, minlength=vertex_ids.size).astype(np.int64)
+        return cls(vertex_ids, degrees)
+
+    def get(self, vertex: int) -> int:
+        """Degree of one vertex; 0 when the vertex is unknown."""
+        idx = int(np.searchsorted(self.vertex_ids, vertex))
+        if idx < self.vertex_ids.size and self.vertex_ids[idx] == vertex:
+            return int(self.degrees[idx])
+        return 0
+
+    def gather(self, vertices: np.ndarray) -> np.ndarray:
+        """Degrees of an array of vertices (every entry must be known)."""
+        return self.degrees[np.searchsorted(self.vertex_ids, vertices)]

@@ -4,17 +4,29 @@ These are not part of the paper's six strategies; they come from the
 related-work space the paper cites (PowerGraph's greedy placement, DBH,
 HDRF) and are used by the ablation benchmark to quantify how much headroom
 a smarter, non-hash partitioner has over the paper's best pick.
+
+The streaming strategies are inherently sequential (each placement feeds
+the next), so the edge loop stays in Python; but the per-partition inner
+work — candidate filtering, load comparisons, HDRF scoring — runs on flat
+numpy arrays (per-endpoint partition-index arrays plus a load vector)
+instead of per-partition Python loops.  Vertex membership stays sparse
+(one set per placed vertex, exactly the seed's ``where`` map), so memory
+is O(total replicas) rather than O(vertices x partitions) even at 1024+
+partitions.  The placements are identical to the seed implementation,
+tie-breaking included; ``tests/test_array_equivalence.py`` asserts that
+edge for edge against re-implementations of the seed loops.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import Dict, Optional, Set
 
 import numpy as np
 
 from ..core.graph import Graph
 from ..core.validation import require_positive_partitions
-from .base import EdgePartitionAssignment, PartitionStrategy
+from .base import EdgePartitionAssignment, PartitionStrategy, parts_index_array
+from .degrees import DegreeLookup
 from .hashing import mix64
 
 __all__ = ["DegreeBasedHashing", "GreedyVertexCut", "HdrfPartitioner"]
@@ -31,20 +43,34 @@ class DegreeBasedHashing(PartitionStrategy):
     name = "DBH"
 
     def __init__(self) -> None:
-        self._degrees: Dict[int, int] = {}
+        self._degrees: Optional[DegreeLookup] = None
 
     def partition_edge(self, src: int, dst: int, num_partitions: int) -> int:
-        deg_src = self._degrees.get(src, 0)
-        deg_dst = self._degrees.get(dst, 0)
+        deg_src = self._degrees.get(src) if self._degrees else 0
+        deg_dst = self._degrees.get(dst) if self._degrees else 0
         anchor = src if deg_src <= deg_dst else dst
         return int(mix64(anchor) % np.uint64(num_partitions))
 
+    def assign_array(self, src: np.ndarray, dst: np.ndarray, num_partitions: int) -> np.ndarray:
+        if self._degrees is None:
+            # No degree context: every degree reads as zero and the tie rule
+            # anchors the source, exactly like the scalar method.
+            anchor = np.asarray(src, dtype=np.int64)
+        else:
+            deg_src = self._degrees.gather(src)
+            deg_dst = self._degrees.gather(dst)
+            anchor = np.where(deg_src <= deg_dst, src, dst)
+        return (mix64(anchor) % np.uint64(num_partitions)).astype(np.int64)
+
     def assign(self, graph: Graph, num_partitions: int) -> EdgePartitionAssignment:
         require_positive_partitions(num_partitions)
-        self._degrees = graph.degrees()
-        assignment = super().assign(graph, num_partitions)
-        self._degrees = {}
-        return assignment
+        self._degrees = DegreeLookup.count(
+            graph.vertex_ids, np.concatenate([graph.src, graph.dst])
+        )
+        try:
+            return super().assign(graph, num_partitions)
+        finally:
+            self._degrees = None
 
 
 class GreedyVertexCut(PartitionStrategy):
@@ -83,18 +109,30 @@ class GreedyVertexCut(PartitionStrategy):
         capacity = max(1.0, self.balance_slack * graph.num_edges / num_partitions)
         where: Dict[int, Set[int]] = {}
         placement = np.empty(graph.num_edges, dtype=np.int64)
+
+        def pick(candidates: np.ndarray) -> int:
+            # The seed's min(candidates, key=(load, id)) tie-break: the
+            # lowest-numbered partition among the least loaded candidates.
+            candidate_loads = loads[candidates]
+            least = candidates[candidate_loads == candidate_loads.min()]
+            return int(least.min())
+
         for index, (src, dst) in enumerate(graph.edge_pairs()):
             parts_src = where.get(src, set())
             parts_dst = where.get(dst, set())
-            common = {p for p in parts_src & parts_dst if loads[p] < capacity}
-            either = {p for p in parts_src | parts_dst if loads[p] < capacity}
-            if common:
-                candidates = common
-            elif either:
-                candidates = either
-            else:
-                candidates = set(range(num_partitions))
-            choice = min(candidates, key=lambda p: (loads[p], p))
+            choice = -1
+            for parts in (parts_src & parts_dst, parts_src | parts_dst):
+                if not parts:
+                    continue
+                candidates = parts_index_array(parts)
+                candidates = candidates[loads[candidates] < capacity]
+                if candidates.size:
+                    choice = pick(candidates)
+                    break
+            if choice < 0:
+                # No (non-full) endpoint partition: globally least loaded,
+                # lowest id first (np.argmin returns the first minimum).
+                choice = int(np.argmin(loads))
             placement[index] = choice
             loads[choice] += 1
             where.setdefault(src, set()).add(choice)
@@ -148,21 +186,20 @@ class HdrfPartitioner(PartitionStrategy):
             min_load = loads.min()
             spread = (max_load - min_load) + 1.0
 
-            best_part = 0
-            best_score = -np.inf
-            parts_src = where.get(src, set())
-            parts_dst = where.get(dst, set())
-            for part in range(num_partitions):
-                rep = 0.0
-                if part in parts_src:
-                    rep += 1.0 + (1.0 - theta_src)
-                if part in parts_dst:
-                    rep += 1.0 + (1.0 - theta_dst)
-                bal = self.balance_weight * (max_load - loads[part]) / spread
-                score = rep + bal
-                if score > best_score:
-                    best_score = score
-                    best_part = part
+            # rep is built sparsely, then the balance vector is added, so the
+            # per-partition float additions happen in the seed's order
+            # ((rep_src + rep_dst) + bal) and the scores stay bit-identical.
+            score = np.zeros(num_partitions, dtype=np.float64)
+            parts_src = where.get(src)
+            if parts_src:
+                score[parts_index_array(parts_src)] += 1.0 + (1.0 - theta_src)
+            parts_dst = where.get(dst)
+            if parts_dst:
+                score[parts_index_array(parts_dst)] += 1.0 + (1.0 - theta_dst)
+            score += self.balance_weight * (max_load - loads) / spread
+            # argmax keeps the first maximum, matching the seed's strict-">"
+            # scan over partition ids.
+            best_part = int(np.argmax(score))
             placement[index] = best_part
             loads[best_part] += 1.0
             where.setdefault(src, set()).add(best_part)

@@ -10,13 +10,14 @@ hub's load spreads over many partitions.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Optional
 
 import numpy as np
 
 from ..core.graph import Graph
 from ..core.validation import require_positive_partitions
 from .base import EdgePartitionAssignment, PartitionStrategy
+from .degrees import DegreeLookup
 from .hashing import mix64
 
 __all__ = ["HybridCut"]
@@ -39,18 +40,26 @@ class HybridCut(PartitionStrategy):
         if threshold is not None and threshold < 1:
             raise ValueError("threshold must be >= 1 when given")
         self.threshold = threshold
-        self._in_degrees: Dict[int, int] = {}
+        self._in_degrees: Optional[DegreeLookup] = None
         self._effective_threshold: float = float("inf")
 
     def partition_edge(self, src: int, dst: int, num_partitions: int) -> int:
-        degree = self._in_degrees.get(dst, 0)
+        degree = self._in_degrees.get(dst) if self._in_degrees else 0
         if degree > self._effective_threshold:
             return int(mix64(src) % np.uint64(num_partitions))
         return int(mix64(dst) % np.uint64(num_partitions))
 
+    def assign_array(self, src: np.ndarray, dst: np.ndarray, num_partitions: int) -> np.ndarray:
+        if self._in_degrees is None:
+            in_degree = np.zeros(len(dst), dtype=np.int64)
+        else:
+            in_degree = self._in_degrees.gather(dst)
+        anchor = np.where(in_degree > self._effective_threshold, src, dst)
+        return (mix64(anchor) % np.uint64(num_partitions)).astype(np.int64)
+
     def assign(self, graph: Graph, num_partitions: int) -> EdgePartitionAssignment:
         require_positive_partitions(num_partitions)
-        self._in_degrees = graph.in_degrees()
+        self._in_degrees = DegreeLookup.count(graph.vertex_ids, graph.dst)
         if self.threshold is not None:
             self._effective_threshold = float(self.threshold)
         elif graph.num_vertices:
@@ -61,5 +70,5 @@ class HybridCut(PartitionStrategy):
         try:
             return super().assign(graph, num_partitions)
         finally:
-            self._in_degrees = {}
+            self._in_degrees = None
             self._effective_threshold = float("inf")

@@ -26,6 +26,7 @@ __all__ = [
     "PAPER_PARTITIONER_NAMES",
     "EXTENSION_PARTITIONER_NAMES",
     "available_partitioners",
+    "canonical_partitioner_name",
     "make_partitioner",
     "paper_partitioners",
     "extension_partitioners",
@@ -57,14 +58,23 @@ def available_partitioners() -> List[str]:
     return list(_FACTORIES)
 
 
-def make_partitioner(name: str) -> PartitionStrategy:
-    """Instantiate a strategy by name (case-insensitive)."""
-    for key, factory in _FACTORIES.items():
+def canonical_partitioner_name(name: str) -> str:
+    """Resolve a case-insensitive strategy name to its registry spelling.
+
+    ``"rvc"``, ``"Rvc"`` and ``"RVC"`` all resolve to ``"RVC"``; unknown
+    names raise :class:`~repro.errors.PartitioningError`.
+    """
+    for key in _FACTORIES:
         if key.lower() == name.lower():
-            return factory()
+            return key
     raise PartitioningError(
         f"unknown partitioner {name!r}; available: {', '.join(_FACTORIES)}"
     )
+
+
+def make_partitioner(name: str) -> PartitionStrategy:
+    """Instantiate a strategy by name (case-insensitive)."""
+    return _FACTORIES[canonical_partitioner_name(name)]()
 
 
 def paper_partitioners() -> List[PartitionStrategy]:

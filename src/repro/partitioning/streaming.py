@@ -15,7 +15,7 @@ import numpy as np
 
 from ..core.graph import Graph
 from ..core.validation import require_positive_partitions
-from .base import EdgePartitionAssignment, PartitionStrategy
+from .base import EdgePartitionAssignment, PartitionStrategy, parts_index_array
 
 __all__ = ["FennelEdgePartitioner"]
 
@@ -46,21 +46,24 @@ class FennelEdgePartitioner(PartitionStrategy):
         require_positive_partitions(num_partitions)
         capacity = max(1.0, graph.num_edges / num_partitions)
         loads = np.zeros(num_partitions, dtype=np.float64)
+        # The edge loop is sequential by construction (every placement feeds
+        # the next); vertex membership stays sparse (one set per vertex, the
+        # seed's map) while the per-partition affinity/penalty scoring runs
+        # on num_partitions-length arrays instead of a Python loop.
         where: Dict[int, Set[int]] = {}
         placement = np.empty(graph.num_edges, dtype=np.int64)
 
         for index, (src, dst) in enumerate(graph.edge_pairs()):
-            parts_src = where.get(src, set())
-            parts_dst = where.get(dst, set())
-            best_part = 0
-            best_score = -np.inf
-            for part in range(num_partitions):
-                affinity = (1.0 if part in parts_src else 0.0) + (1.0 if part in parts_dst else 0.0)
-                penalty = self.gamma * loads[part] / capacity
-                score = affinity - penalty
-                if score > best_score:
-                    best_score = score
-                    best_part = part
+            score = np.zeros(num_partitions, dtype=np.float64)
+            parts_src = where.get(src)
+            if parts_src:
+                score[parts_index_array(parts_src)] += 1.0
+            parts_dst = where.get(dst)
+            if parts_dst:
+                score[parts_index_array(parts_dst)] += 1.0
+            score -= self.gamma * loads / capacity
+            # argmax keeps the first maximum — the seed's strict-">" scan.
+            best_part = int(np.argmax(score))
             placement[index] = best_part
             loads[best_part] += 1.0
             where.setdefault(src, set()).add(best_part)

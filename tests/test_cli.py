@@ -33,6 +33,30 @@ class TestParser:
         args = build_parser().parse_args(["advise", "--dataset", "orkut", "--algorithm", "tr"])
         assert args.algorithm == "TR"
 
+    def test_lowercase_partitioner_names_accepted(self):
+        args = build_parser().parse_args(["metrics", "--partitioners", "rvc", "dC", "HYBRID"])
+        assert args.partitioners == ["RVC", "DC", "Hybrid"]
+        args = build_parser().parse_args(["run", "--partitioners", "2d", "crvc"])
+        assert args.partitioners == ["2D", "CRVC"]
+
+    def test_unknown_partitioner_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["metrics", "--partitioners", "metis"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--partitioners", "rvc", "nope"])
+
+    def test_partitioners_default_to_none(self):
+        assert build_parser().parse_args(["metrics"]).partitioners is None
+        assert build_parser().parse_args(["run"]).partitioners is None
+
+    def test_empty_partitioners_flag_rejected(self):
+        # A bare --partitioners (e.g. from an empty shell variable) must not
+        # silently fall back to the full six-strategy study.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["metrics", "--partitioners"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--partitioners"])
+
     def test_backend_flag(self):
         args = build_parser().parse_args(["run", "--backend", "vectorized"])
         assert args.backend == "vectorized"
@@ -77,6 +101,39 @@ class TestCommands:
         output = capsys.readouterr().out
         assert exit_code == 0
         assert "Correlation of metrics" in output
+        assert "Best partitioner per dataset" in output
+
+    def test_metrics_lowercase_partitioners(self, capsys):
+        exit_code = main(
+            [
+                "--scale", "0.05",
+                "metrics",
+                "--partitions", "8",
+                "--datasets", "youtube",
+                "--partitioners", "rvc", "dc",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "RVC" in output
+        assert "DC" in output
+        assert "CRVC" not in output  # only the requested strategies are studied
+
+    def test_run_lowercase_partitioners(self, capsys):
+        exit_code = main(
+            [
+                "--scale", "0.05",
+                "run",
+                "--algorithm", "PR",
+                "--partitions", "4",
+                "--datasets", "youtube", "pocek",
+                "--partitioners", "rvc", "2d",
+                "--iterations", "2",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "2D" in output
         assert "Best partitioner per dataset" in output
 
     def test_run_lowercase_algorithm(self, capsys):
