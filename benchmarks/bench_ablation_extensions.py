@@ -18,7 +18,7 @@ from repro.partitioning.registry import EXTENSION_PARTITIONER_NAMES, PAPER_PARTI
 from bench_utils import print_header
 from conftest import CONFIG_I_PARTITIONS
 
-DATASETS = ["youtube", "pocek", "orkut"]
+DATASETS = ["youtube", "pokec", "orkut"]
 #: HDRF/greedy/Fennel are quadratic in the partition count for the scoring
 #: loop, so the ablation uses a smaller partition count than the main sweeps.
 ABLATION_PARTITIONS = 32

@@ -29,7 +29,7 @@ from repro.metrics.report import format_table
 from bench_utils import print_header
 from conftest import CONFIG_I_PARTITIONS
 
-DATASETS = ["youtube", "pocek", "orkut", "soclivejournal", "follow-jul"]
+DATASETS = ["youtube", "pokec", "orkut", "soclivejournal", "follow-jul"]
 ALGORITHMS = ["PR", "CC", "TR"]
 
 

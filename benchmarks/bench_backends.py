@@ -6,8 +6,10 @@ document (one record per dataset x algorithm, plus the per-dataset CSR
 build cost).  The paper's cost model lives only in the ``reference``
 backend; this benchmark quantifies what the ``vectorized`` backend buys
 for real workloads: the acceptance bar is a >= 10x PageRank speedup on
-the largest catalog dataset, and in practice the kernels land orders of
-magnitude above it.
+the largest catalog dataset.  (Since the simulator's own supersteps went
+array-native the margin is ~20x rather than the ~100x it enjoyed over
+the scalar loop; ``bench_pregel_vectorized.py`` tracks the scalar-vs-
+array gap inside the simulator itself.)
 """
 
 from __future__ import annotations
@@ -104,6 +106,18 @@ def test_backend_speedups(benchmark, all_graphs, partitioned_graphs, bench_seed)
     )
     assert pr_largest["speedup"] >= 10.0
 
-    # Every algorithm should beat the simulator on every dataset.
-    slower = [row for row in report["results"] if row["speedup"] < 1.0]
+    # Since the simulator's supersteps went array-native the backend's win
+    # is no longer universal: for TR and SSSP both sides are numpy kernels
+    # now, and the backend's CSR build / full-matrix relaxation rounds can
+    # lose to the simulator's masked updates on some datasets.  PageRank
+    # and CC must still beat the simulator everywhere (the backend skips
+    # the per-superstep cost-model accounting entirely); TR and SSSP only
+    # carry a same-order-of-magnitude sanity floor.
+    slower = [
+        row
+        for row in report["results"]
+        if row["speedup"] < 1.0 and row["algorithm"] in ("PR", "CC")
+    ]
     assert not slower, f"vectorized slower than reference for: {slower}"
+    way_slower = [row for row in report["results"] if row["speedup"] < 0.25]
+    assert not way_slower, f"vectorized far behind reference for: {way_slower}"

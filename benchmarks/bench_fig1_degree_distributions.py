@@ -49,7 +49,7 @@ def test_fig1_degree_distributions(benchmark, all_graphs, bench_scale):
     by_key = {(row["dataset"], row["direction"]): row for row in rows}
     # Social graphs have fat-tailed distributions: the maximum degree is far
     # above the mean.  Road networks are nearly regular.
-    for social in ("youtube", "orkut", "pocek", "follow-jul", "follow-dec"):
+    for social in ("youtube", "orkut", "pokec", "follow-jul", "follow-dec"):
         row = by_key[(social, "in")]
         assert row["max_deg"] > 8 * row["mean_deg"], social
     for road in ("roadnet-pa", "roadnet-tx", "roadnet-ca"):

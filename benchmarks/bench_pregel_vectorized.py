@@ -1,0 +1,152 @@
+"""E-extra — Pregel supersteps: scalar per-edge loop vs array-native path.
+
+Times the reference simulator's Pregel algorithms (PR, CC, SSSP — the
+``aggregate_messages`` degree kernel rides along) under the scalar
+superstep loop and under the ``ArrayMessageKernel`` path, and reports the
+speedups as a JSON document in the style of ``bench_backends.py``.  Every
+timed pair is also checked for *identical* results: bit-identical vertex
+values and identical ``SuperstepRecord`` counters — a speedup only counts
+if the array path is indistinguishable from the scalar semantics.
+
+The acceptance bar is a >= 8x speedup for PageRank on the largest catalog
+dataset (follow-dec) at the paper's 128-partition granularity.
+
+Unlike the pytest-benchmark modules next to it, this harness is a plain
+script so CI can exercise it cheaply::
+
+    PYTHONPATH=src python benchmarks/bench_pregel_vectorized.py --quick
+
+``--quick`` shrinks the sweep to one small dataset at a small granularity
+and only requires the array path to win (>= 1x), keeping the harness —
+and the equivalence checks inside it — from silently rotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+from repro.algorithms.connected_components import connected_components
+from repro.algorithms.degrees import degree_count
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.shortest_paths import choose_landmarks, shortest_paths
+from repro.datasets.catalog import load_dataset
+from repro.engine.partitioned_graph import PartitionedGraph
+
+#: Partitioner used for every run; the superstep cost, not the placement
+#: quality, is what this benchmark measures.
+PARTITIONER = "2D"
+
+#: The acceptance bar for PageRank on the largest dataset (full mode).
+PAGERANK_BAR = 8.0
+
+
+def _algorithm_runners(pgraph, iterations, seed):
+    landmarks = choose_landmarks(pgraph, count=3, seed=seed + 7)
+    return {
+        "PR": lambda v: pagerank(pgraph, num_iterations=iterations, vectorized=v),
+        "CC": lambda v: connected_components(pgraph, max_iterations=iterations, vectorized=v),
+        "SSSP": lambda v: shortest_paths(pgraph, landmarks, vectorized=v),
+        "DEG": lambda v: degree_count(pgraph, direction="both", vectorized=v),
+    }
+
+
+def _identical(scalar, array) -> bool:
+    return (
+        scalar.vertex_values == array.vertex_values
+        and scalar.report.supersteps == array.report.supersteps
+    )
+
+
+def run_sweep(datasets, num_partitions, scale, seed, iterations):
+    """Time every algorithm on every dataset under both superstep paths."""
+    report = {
+        "benchmark": "pregel_vectorized",
+        "partitioner": PARTITIONER,
+        "num_partitions": num_partitions,
+        "scale": scale,
+        "datasets": {},
+        "results": [],
+    }
+    for name in datasets:
+        graph = load_dataset(name, scale=scale, seed=seed)
+        report["datasets"][name] = {
+            "vertices": graph.num_vertices,
+            "edges": graph.num_edges,
+        }
+        pgraph = PartitionedGraph.partition(graph, PARTITIONER, num_partitions)
+        pgraph.triplets()  # shared by both paths; build outside the timings
+        for algorithm, run in _algorithm_runners(pgraph, iterations, seed).items():
+            started = time.perf_counter()
+            scalar = run(False)
+            scalar_seconds = time.perf_counter() - started
+            started = time.perf_counter()
+            array = run(True)
+            array_seconds = time.perf_counter() - started
+            assert _identical(scalar, array), (
+                f"array path diverged from the scalar loop for {algorithm} on {name}"
+            )
+            speedup = (
+                scalar_seconds / array_seconds if array_seconds > 0 else float("inf")
+            )
+            report["results"].append(
+                {
+                    "dataset": name,
+                    "algorithm": algorithm,
+                    "scalar_seconds": round(scalar_seconds, 6),
+                    "array_seconds": round(array_seconds, 6),
+                    "speedup": round(speedup, 1),
+                }
+            )
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Scalar vs array-native Pregel superstep benchmark"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small sweep for CI: one dataset, 16 partitions, bar is 'array wins'",
+    )
+    parser.add_argument("--scale", type=float, default=None, help="dataset scale factor")
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument("--partitions", type=int, default=None)
+    parser.add_argument("--iterations", type=int, default=10)
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        datasets = ["youtube"]
+        num_partitions = args.partitions or 16
+        scale = args.scale if args.scale is not None else 0.2
+        bar_algorithm, bar_dataset, bar = "PR", "youtube", 1.0
+    else:
+        datasets = ["youtube", "pokec", "orkut", "follow-jul", "follow-dec"]
+        num_partitions = args.partitions or 128
+        scale = args.scale if args.scale is not None else 0.35
+        bar_algorithm, bar_dataset, bar = "PR", "follow-dec", PAGERANK_BAR
+
+    report = run_sweep(datasets, num_partitions, scale, args.seed, args.iterations)
+    print(json.dumps(report, indent=2))
+
+    bar_row = next(
+        row
+        for row in report["results"]
+        if row["dataset"] == bar_dataset and row["algorithm"] == bar_algorithm
+    )
+    print(
+        f"\n{bar_dataset!r} {bar_algorithm} at {num_partitions} partitions: "
+        f"{bar_row['speedup']:.1f}x (acceptance bar: {bar:.0f}x)"
+    )
+    if bar_row["speedup"] < bar:
+        print("FAILED: array superstep path below the acceptance bar", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,7 +21,7 @@ from repro.analysis.results import group_by_dataset
 from repro.datasets.catalog import PAPER_DATASET_NAMES, load_all_datasets
 from repro.datasets.characterization import build_table1, format_table1
 
-SOCIAL = ["youtube", "pocek", "orkut", "soclivejournal", "follow-jul", "follow-dec"]
+SOCIAL = ["youtube", "pokec", "orkut", "soclivejournal", "follow-jul", "follow-dec"]
 
 
 def main(scale: float = 0.35, seed: int = 17) -> None:

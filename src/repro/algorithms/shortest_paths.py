@@ -15,14 +15,17 @@ from __future__ import annotations
 import random
 from typing import Dict, Iterable, List, Optional
 
+import numpy as np
+
 from ..engine.cluster import ClusterConfig
 from ..engine.cost_model import CostParameters
+from ..engine.messaging import ArrayMessageKernel
 from ..engine.partitioned_graph import PartitionedGraph
 from ..engine.pregel import pregel
 from ..errors import EngineError
 from .result import AlgorithmResult
 
-__all__ = ["shortest_paths", "choose_landmarks"]
+__all__ = ["shortest_paths", "choose_landmarks", "ShortestPathsKernel"]
 
 _EDGE_UNITS = 1.0
 _VERTEX_UNITS = 0.5
@@ -41,12 +44,54 @@ def _increment(distances: Dict[int, int]) -> Dict[int, int]:
     return {landmark: distance + 1 for landmark, distance in distances.items()}
 
 
+class ShortestPathsKernel(ArrayMessageKernel):
+    """Vectorised landmark maps: one float row per vertex (``inf`` marks an
+    absent landmark entry), candidate rows ``dst + 1`` sent backwards along
+    edges that improve the source, merged with elementwise ``np.minimum``."""
+
+    merge_ufunc = np.minimum
+    merge_identity = np.inf
+    message_dtype = np.float64
+
+    def __init__(self, landmarks: List[int]) -> None:
+        self.landmarks = [int(v) for v in landmarks]
+        self.message_width = len(self.landmarks)
+
+    def encode(self, vertex_ids, values):
+        state = np.full((vertex_ids.size, len(self.landmarks)), np.inf)
+        column = {landmark: j for j, landmark in enumerate(self.landmarks)}
+        for i, v in enumerate(vertex_ids.tolist()):
+            for landmark, distance in values[v].items():
+                state[i, column[landmark]] = float(distance)
+        return state
+
+    def decode(self, vertex_ids, state):
+        landmarks = self.landmarks
+        return {
+            int(v): {
+                landmarks[j]: int(row[j]) for j in np.flatnonzero(np.isfinite(row))
+            }
+            for v, row in zip(vertex_ids.tolist(), state)
+        }
+
+    def send_message_array(self, src_idx, dst_idx, state):
+        candidates = state[dst_idx] + 1.0
+        improving = (candidates < state[src_idx]).any(axis=1)
+        positions = np.flatnonzero(improving)
+        return positions, src_idx[positions], candidates[positions]
+
+    def apply_messages(self, state, target_idx, messages):
+        state[target_idx] = np.minimum(state[target_idx], messages)
+        return state
+
+
 def shortest_paths(
     pgraph: PartitionedGraph,
     landmarks: Iterable[int],
     max_iterations: Optional[int] = None,
     cluster: Optional[ClusterConfig] = None,
     cost_parameters: Optional[CostParameters] = None,
+    vectorized: bool = True,
 ) -> AlgorithmResult:
     """Compute hop distances from every vertex to each landmark it can reach."""
     landmark_list = [int(v) for v in landmarks]
@@ -91,6 +136,7 @@ def shortest_paths(
         cost_parameters=cost_parameters,
         edge_compute_units=_EDGE_UNITS,
         vertex_compute_units=_VERTEX_UNITS,
+        message_kernel=ShortestPathsKernel(landmark_list) if vectorized else None,
     )
 
     return AlgorithmResult(

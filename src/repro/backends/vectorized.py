@@ -33,6 +33,7 @@ from ..algorithms.shortest_paths import choose_landmarks
 from ..engine.cluster import ClusterConfig
 from ..engine.cost_model import CostParameters
 from ..errors import BackendError
+from ..partitioning.membership import segment_arange
 from .base import Backend, GraphLike, resolve_graph
 from .csr import CSRGraph
 
@@ -138,10 +139,7 @@ def triangle_kernel(csr: CSRGraph) -> np.ndarray:
     if total == 0:
         return counts
     edge_of = np.repeat(np.arange(eu.size, dtype=np.int64), probe_deg)
-    offsets = np.arange(total, dtype=np.int64) - np.repeat(
-        np.cumsum(probe_deg) - probe_deg, probe_deg
-    )
-    flat = np.repeat(indptr[probe], probe_deg) + offsets
+    flat = segment_arange(indptr[probe], probe_deg)
     wedge_rank = succ_rank[flat]
     wedge_vertex = succ_vertex[flat]
     keys = np.repeat(np.arange(n, dtype=np.int64), out_deg) * n + succ_rank

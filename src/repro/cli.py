@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction.
 
-Provides three sub-commands mirroring the evaluation workflow::
+Provides four sub-commands mirroring the evaluation workflow::
 
     python -m repro.cli characterize                 # Table 1
     python -m repro.cli metrics --partitions 128     # Table 2 / 3
@@ -8,7 +8,10 @@ Provides three sub-commands mirroring the evaluation workflow::
     python -m repro.cli advise --dataset orkut --algorithm PR
 
 All sub-commands accept ``--scale`` to shrink or grow the synthetic
-datasets and ``--seed`` for reproducibility.
+datasets and ``--seed`` for reproducibility; both global flags are valid
+before *and* after the sub-command name.  Library failures
+(:class:`~repro.errors.ReproError`) are reported as a one-line message on
+stderr with exit code 2 instead of a traceback.
 """
 
 from __future__ import annotations
@@ -30,11 +33,14 @@ from .backends import available_backends, get_backend
 from .datasets.catalog import PAPER_DATASET_NAMES, load_dataset
 from .datasets.characterization import build_table1, format_table1
 from .engine.partitioned_graph import PartitionedGraph
-from .errors import PartitioningError
+from .errors import PartitioningError, ReproError
 from .metrics.report import format_metrics_table, format_table
 from .partitioning.registry import canonical_partitioner_name
 
 __all__ = ["main", "build_parser"]
+
+#: Partition count used by ``advise --backend`` when ``--partitions`` is omitted.
+DEFAULT_ADVISE_PARTITIONS = 16
 
 
 def _partitioner_name(name: str) -> str:
@@ -45,20 +51,64 @@ def _partitioner_name(name: str) -> str:
         raise argparse.ArgumentTypeError(str(error))
 
 
+def _positive_int(text: str) -> int:
+    """argparse type: an integer >= 1 (partition counts)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
-    """Build the argparse parser for the ``repro`` CLI."""
+    """Build the argparse parser for the ``repro`` CLI.
+
+    The global ``--scale``/``--seed`` flags live on parent parsers attached
+    to the root *and* to every sub-command, so they are accepted both
+    before and after the sub-command name (the later position wins).  The
+    sub-command copies carry suppressed defaults — argparse parses a
+    sub-command into a fresh namespace and copies it over the root's, so a
+    real default there would clobber a value given before the sub-command.
+    """
+
+    def _global_flags(with_defaults: bool) -> argparse.ArgumentParser:
+        flags = argparse.ArgumentParser(add_help=False)
+        flags.add_argument(
+            "--scale",
+            type=float,
+            default=0.5 if with_defaults else argparse.SUPPRESS,
+            help="dataset scale factor (default: 0.5)",
+        )
+        flags.add_argument(
+            "--seed",
+            type=int,
+            default=0 if with_defaults else argparse.SUPPRESS,
+            help="generator seed (default: 0)",
+        )
+        return flags
+
+    root_flags = _global_flags(with_defaults=True)
+    global_flags = _global_flags(with_defaults=False)
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce 'Cut to Fit: Tailoring the Partitioning to the Computation'",
+        parents=[root_flags],
     )
-    parser.add_argument("--scale", type=float, default=0.5, help="dataset scale factor")
-    parser.add_argument("--seed", type=int, default=0, help="generator seed")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("characterize", help="print the Table 1 dataset characterisation")
+    subparsers.add_parser(
+        "characterize",
+        help="print the Table 1 dataset characterisation",
+        parents=[global_flags],
+    )
 
-    metrics_parser = subparsers.add_parser("metrics", help="print Table 2/3 partitioning metrics")
-    metrics_parser.add_argument("--partitions", type=int, default=128)
+    metrics_parser = subparsers.add_parser(
+        "metrics", help="print Table 2/3 partitioning metrics", parents=[global_flags]
+    )
+    metrics_parser.add_argument("--partitions", type=_positive_int, default=128)
     metrics_parser.add_argument("--datasets", nargs="*", default=None)
     metrics_parser.add_argument(
         "--partitioners",
@@ -68,13 +118,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="strategy names, case-insensitive (default: the paper's six)",
     )
 
-    run_parser = subparsers.add_parser("run", help="run an algorithm sweep (Figures 3-6)")
+    run_parser = subparsers.add_parser(
+        "run", help="run an algorithm sweep (Figures 3-6)", parents=[global_flags]
+    )
     # type=str.upper runs before the choices check, so lowercase
     # abbreviations ("pr", "sssp") are accepted too.
     run_parser.add_argument(
         "--algorithm", default="PR", type=str.upper, choices=["PR", "CC", "TR", "SSSP"]
     )
-    run_parser.add_argument("--partitions", type=int, default=128)
+    run_parser.add_argument("--partitions", type=_positive_int, default=128)
     run_parser.add_argument("--datasets", nargs="*", default=None)
     run_parser.add_argument(
         "--partitioners",
@@ -91,10 +143,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend (reference = cost-model simulator)",
     )
 
-    advise_parser = subparsers.add_parser("advise", help="recommend a partitioner")
+    advise_parser = subparsers.add_parser(
+        "advise", help="recommend a partitioner", parents=[global_flags]
+    )
     advise_parser.add_argument("--dataset", required=True)
     advise_parser.add_argument("--algorithm", default="PR", type=str.upper)
-    advise_parser.add_argument("--partitions", type=int, default=None)
+    advise_parser.add_argument("--partitions", type=_positive_int, default=None)
     advise_parser.add_argument(
         "--backend",
         default=None,
@@ -177,8 +231,10 @@ def _cmd_advise(args: argparse.Namespace) -> int:
         for name, score in sorted(recommendation.candidates.items(), key=lambda kv: kv[1]):
             print(f"  {name:>8}: {score:,.0f}")
     if args.backend:
+        num_partitions = args.partitions or DEFAULT_ADVISE_PARTITIONS
+        default_note = "" if args.partitions else " (default)"
         pgraph = PartitionedGraph.partition(
-            graph, recommendation.partitioner, args.partitions or 16
+            graph, recommendation.partitioner, num_partitions
         )
         result = run_algorithm(recommendation.algorithm, pgraph, backend=args.backend)
         timing = (
@@ -187,14 +243,20 @@ def _cmd_advise(args: argparse.Namespace) -> int:
             else "no simulated timing"
         )
         print(
-            f"Executed {result.algorithm} with {recommendation.partitioner} on backend "
+            f"Executed {result.algorithm} with {recommendation.partitioner} at "
+            f"{num_partitions} partitions{default_note} on backend "
             f"{result.backend!r}: {result.wall_seconds:.3f}s wall-clock, {timing}."
         )
     return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Library errors (bad dataset name, misconfigured study, ...) all derive
+    from :class:`ReproError`; they are user errors, not crashes, so they
+    are reported as one line on stderr with exit code 2.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     handlers = {
@@ -203,7 +265,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "advise": _cmd_advise,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

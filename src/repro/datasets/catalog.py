@@ -10,6 +10,7 @@ benchmark harness.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -140,11 +141,11 @@ _register(
 )
 _register(
     DatasetSpec(
-        name="pocek",
-        description="Pocek (Pokec) analogue: directed, ~54% reciprocity, dense, one component",
+        name="pokec",
+        description="Pokec analogue: directed, ~54% reciprocity, dense, one component",
         kind="social",
         builder=_social(
-            "pocek",
+            "pokec",
             vertices=900,
             edges=14000,
             exponent=2.4,
@@ -284,7 +285,7 @@ PAPER_DATASET_NAMES: List[str] = [
     "roadnet-pa",
     "youtube",
     "roadnet-tx",
-    "pocek",
+    "pokec",
     "roadnet-ca",
     "orkut",
     "soclivejournal",
@@ -298,10 +299,29 @@ def dataset_names() -> List[str]:
     return list(PAPER_DATASET_NAMES)
 
 
+#: Deprecated spellings still accepted (case-insensitively) by :func:`get_spec`.
+#: The SNAP dataset is Pokec; early versions of this catalog misspelled it.
+_DEPRECATED_ALIASES: Dict[str, str] = {"pocek": "pokec"}
+
+
 def get_spec(name: str) -> DatasetSpec:
-    """Look up a dataset specification by name (case-insensitive)."""
+    """Look up a dataset specification by name (case-insensitive).
+
+    Deprecated aliases (e.g. the historical ``"pocek"`` misspelling of
+    ``"pokec"``) resolve to their canonical entry with a
+    :class:`DeprecationWarning`.
+    """
+    lowered = name.lower()
+    canonical = _DEPRECATED_ALIASES.get(lowered)
+    if canonical is not None:
+        warnings.warn(
+            f"dataset name {name!r} is a deprecated alias; use {canonical!r}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        lowered = canonical
     for key, spec in _SPECS.items():
-        if key.lower() == name.lower():
+        if key.lower() == lowered:
             return spec
     raise DatasetError(f"unknown dataset {name!r}; available: {', '.join(_SPECS)}")
 

@@ -1,6 +1,6 @@
 """Deterministic synthetic graph generators.
 
-The paper evaluates on SNAP datasets (road networks, YouTube, Pocek,
+The paper evaluates on SNAP datasets (road networks, YouTube, Pokec,
 Orkut, socLiveJournal) and on two private Twitter "follow" crawls.  Those
 inputs are either too large for a laptop-scale simulation or not publicly
 available, so this module generates scaled-down synthetic analogues that

@@ -3,6 +3,7 @@
 from .cluster import STORAGE_BANDWIDTH_BYTES, ClusterConfig, paper_cluster
 from .cost_model import CostModel, CostParameters, SimulationReport, SuperstepRecord
 from .edge_partition import EdgePartition
+from .messaging import ArrayMessageKernel, TripletArrays
 from .partitioned_graph import PartitionedGraph
 from .pregel import PregelResult, aggregate_messages, pregel
 from .routing import RoutingTable
@@ -15,8 +16,10 @@ __all__ = [
     "CostParameters",
     "SimulationReport",
     "SuperstepRecord",
+    "ArrayMessageKernel",
     "EdgePartition",
     "PartitionedGraph",
+    "TripletArrays",
     "PregelResult",
     "RoutingTable",
     "aggregate_messages",

@@ -34,6 +34,10 @@ class EdgePartition:
             self.vertex_ids = np.unique(endpoints)
         else:
             self.vertex_ids = np.asarray(self.vertex_ids, dtype=np.int64)
+        # Derived triplet views are cached: the edge arrays are immutable
+        # after construction, so recomputation can never change the answer.
+        self._edge_pairs: Optional[Tuple[tuple, tuple]] = None
+        self._local_triplets: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     @property
     def num_edges(self) -> int:
@@ -45,9 +49,30 @@ class EdgePartition:
         """Number of distinct vertices mirrored into this partition."""
         return int(self.vertex_ids.size)
 
-    def edge_pairs(self) -> Tuple[list, list]:
-        """Return the partition's edges as two Python lists ``(src, dst)``."""
-        return self.src.tolist(), self.dst.tolist()
+    def edge_pairs(self) -> Tuple[tuple, tuple]:
+        """Return the partition's edges as two sequences ``(src, dst)``.
+
+        Materialised once and cached — callers iterate these every
+        superstep — as tuples, so no caller can corrupt the shared view.
+        """
+        if self._edge_pairs is None:
+            self._edge_pairs = (tuple(self.src.tolist()), tuple(self.dst.tolist()))
+        return self._edge_pairs
+
+    def local_triplets(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The partition's edges as indices into its ``vertex_ids`` mirror list.
+
+        This is GraphX's ``EdgePartition`` encoding: triplets reference the
+        partition-local vertex table, and the engine composes the local
+        table with the global one.  Built once and cached; the arrays are
+        the vectorised counterpart of :meth:`edge_pairs`.
+        """
+        if self._local_triplets is None:
+            self._local_triplets = (
+                np.searchsorted(self.vertex_ids, self.src),
+                np.searchsorted(self.vertex_ids, self.dst),
+            )
+        return self._local_triplets
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -13,6 +13,7 @@ from ..metrics.partition_metrics import PartitioningMetrics, compute_metrics
 from ..partitioning.base import EdgePartitionAssignment, PartitionStrategy
 from ..partitioning.registry import make_partitioner
 from .edge_partition import EdgePartition
+from .messaging import TripletArrays, build_triplets
 from .routing import RoutingTable
 
 __all__ = ["PartitionedGraph"]
@@ -34,6 +35,7 @@ class PartitionedGraph:
         self._partitions: Optional[List[EdgePartition]] = None
         self._routing: Optional[RoutingTable] = None
         self._metrics: Optional[PartitioningMetrics] = None
+        self._triplets: Optional[TripletArrays] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -101,6 +103,17 @@ class PartitionedGraph:
         if self._metrics is None:
             self._metrics = compute_metrics(self.assignment)
         return self._metrics
+
+    def triplets(self) -> TripletArrays:
+        """Partition-major dense triplet arrays (built lazily, cached).
+
+        The input representation of the engine's array-native superstep
+        path: every partition's cached local triplets composed with the
+        graph's global vertex table.
+        """
+        if self._triplets is None:
+            self._triplets = build_triplets(self)
+        return self._triplets
 
     @property
     def dataset_bytes(self) -> int:

@@ -27,6 +27,13 @@ import numpy as np
 from ..errors import EngineError
 from .cluster import ClusterConfig, paper_cluster
 from .cost_model import CostModel, CostParameters, SimulationReport
+from .messaging import (
+    ArrayMessageKernel,
+    active_edge_mask,
+    fold_messages,
+    plan_fold,
+    route_counts,
+)
 from .partitioned_graph import PartitionedGraph
 
 __all__ = ["PregelResult", "pregel", "aggregate_messages"]
@@ -94,8 +101,13 @@ def _route_and_merge(
             continue
         from_executor = cluster.executor_of_partition(partition_id)
         for target, message in outbox.items():
+            master = masters.get(target)
+            if master is None:
+                raise EngineError(
+                    f"send_message targeted unknown vertex {target!r} from partition "
+                    f"{partition_id}; messages may only address vertices of the graph"
+                )
             partition_units[partition_id] += _MESSAGE_SERIALIZE_UNITS
-            master = masters[target]
             if master != partition_id:
                 if cluster.executor_of_partition(master) != from_executor:
                     remote += 1
@@ -122,7 +134,10 @@ def _broadcast_updates(
     per-vertex Python loop.
     """
     routing = pgraph.routing
-    vertices = np.fromiter(updated_vertices, dtype=np.int64)
+    if isinstance(updated_vertices, np.ndarray):
+        vertices = updated_vertices.astype(np.int64, copy=False)
+    else:
+        vertices = np.fromiter(updated_vertices, dtype=np.int64)
     parts, masters = routing.replica_sync_pairs(vertices)
     if not parts.size:
         return 0, 0
@@ -150,6 +165,7 @@ def pregel(
     vertex_compute_units: float = 1.0,
     always_active: bool = False,
     default_message: Any = None,
+    message_kernel: Optional[ArrayMessageKernel] = None,
 ) -> PregelResult:
     """Run a Pregel computation on ``pgraph`` and simulate its execution time.
 
@@ -190,6 +206,12 @@ def pregel(
     default_message:
         Message handed to vertices that received nothing when
         ``always_active`` is set.
+    message_kernel:
+        Optional :class:`~repro.engine.messaging.ArrayMessageKernel`.  When
+        given, the superstep loop runs array-natively over the cached
+        partition triplet arrays, producing bit-identical vertex values and
+        identical superstep counters to the scalar loop; the scalar loop
+        remains the path for arbitrary Python payloads.
     """
     _check_direction(active_direction)
     if max_iterations < 0:
@@ -204,6 +226,21 @@ def pregel(
     model = CostModel(cluster, cost_parameters)
     report = model.new_report()
     report.load_seconds = model.load_seconds(pgraph.dataset_bytes)
+
+    if message_kernel is not None:
+        return _pregel_array(
+            pgraph,
+            initial_values,
+            message_kernel,
+            max_iterations=max_iterations,
+            active_direction=active_direction,
+            cluster=cluster,
+            model=model,
+            report=report,
+            edge_compute_units=edge_compute_units,
+            vertex_compute_units=vertex_compute_units,
+            always_active=always_active,
+        )
 
     values: Dict[int, Any] = dict(initial_values)
     num_partitions = pgraph.num_partitions
@@ -320,6 +357,164 @@ def pregel(
     )
 
 
+def _pregel_array(
+    pgraph: PartitionedGraph,
+    initial_values: Dict[int, Any],
+    kernel: ArrayMessageKernel,
+    max_iterations: int,
+    active_direction: str,
+    cluster: ClusterConfig,
+    model: CostModel,
+    report: SimulationReport,
+    edge_compute_units: float,
+    vertex_compute_units: float,
+    always_active: bool,
+) -> PregelResult:
+    """The array-native superstep loop (same observable behaviour as the
+    scalar loop above, computed with masks/folds over the triplet arrays)."""
+    trip = pgraph.triplets()
+    num_vertices = trip.num_vertices
+    num_partitions = trip.num_partitions
+    master_of = trip.master_of
+    executor_of = cluster.executor_map(num_partitions)
+    vertex_units_per_master = (
+        np.bincount(master_of, minlength=num_partitions) * vertex_compute_units
+    )
+
+    state = kernel.encode(trip.vertex_ids, initial_values)
+
+    # ------------------------------------------------------------------
+    # Superstep 0: vertex program everywhere with the initial message.
+    # ------------------------------------------------------------------
+    partition_units = np.zeros(num_partitions, dtype=np.float64)
+    state = kernel.initial_program(state)
+    partition_units += vertex_units_per_master
+    sync_remote, sync_local = _broadcast_updates(
+        pgraph, cluster, trip.vertex_ids, partition_units
+    )
+    model.record_superstep(
+        report,
+        superstep=0,
+        partition_units=partition_units,
+        messages_remote=sync_remote,
+        messages_local=sync_local,
+        active_vertices=num_vertices,
+        edges_scanned=0,
+    )
+
+    active = np.ones(num_vertices, dtype=bool)
+    supersteps = 0
+
+    # ``always_active`` loops scan every edge, update every vertex and
+    # broadcast every master each superstep, so those plans (and their
+    # counters) are computed once and reused.
+    if always_active:
+        all_edge_units = (
+            np.bincount(trip.edge_pid, minlength=num_partitions) * edge_compute_units
+        )
+        all_sync_units = np.zeros(num_partitions, dtype=np.float64)
+        all_sync_remote, all_sync_local = _broadcast_updates(
+            pgraph, cluster, trip.vertex_ids, all_sync_units
+        )
+    cached_plan = None
+    cached_serialize_units = None
+    cached_shuffle = None
+
+    # ------------------------------------------------------------------
+    # Message-exchange supersteps.
+    # ------------------------------------------------------------------
+    while active.any() and supersteps < max_iterations:
+        supersteps += 1
+        partition_units = np.zeros(num_partitions, dtype=np.float64)
+
+        if always_active:
+            # Every vertex is active: the scan covers every triplet.
+            scanned_src, scanned_dst = trip.src, trip.dst
+            scanned_pid = trip.edge_pid
+            edges_scanned = trip.num_edges
+            partition_units += all_edge_units
+        else:
+            scan_mask = active_edge_mask(active, trip.src, trip.dst, active_direction)
+            scanned = np.flatnonzero(scan_mask)
+            edges_scanned = int(scanned.size)
+            scanned_src, scanned_dst = trip.src[scanned], trip.dst[scanned]
+            scanned_pid = trip.edge_pid[scanned]
+            partition_units += (
+                np.bincount(scanned_pid, minlength=num_partitions) * edge_compute_units
+            )
+
+        positions, target_idx, messages = kernel.send_message_array(
+            scanned_src, scanned_dst, state
+        )
+        if cached_plan is not None:
+            plan = cached_plan
+            partition_units += cached_serialize_units
+            shuffle_remote, shuffle_local = cached_shuffle
+        else:
+            plan = plan_fold(scanned_pid[positions], target_idx, num_vertices)
+            serialize_units = (
+                np.bincount(plan.slot_pid, minlength=num_partitions)
+                * _MESSAGE_SERIALIZE_UNITS
+            )
+            partition_units += serialize_units
+            shuffle_remote, shuffle_local = route_counts(plan, master_of, executor_of)
+            if always_active and kernel.static_message_structure:
+                cached_plan = plan
+                cached_serialize_units = serialize_units
+                cached_shuffle = (shuffle_remote, shuffle_local)
+        merged = fold_messages(kernel, plan, messages)
+
+        if not plan.target_idx.size and not always_active:
+            # The scan itself still happened; account for it, then stop.
+            model.record_superstep(
+                report,
+                superstep=supersteps,
+                partition_units=partition_units,
+                messages_remote=shuffle_remote,
+                messages_local=shuffle_local,
+                active_vertices=0,
+                edges_scanned=edges_scanned,
+            )
+            active = np.zeros(num_vertices, dtype=bool)
+            break
+
+        if always_active:
+            state = kernel.apply_messages_all(state, plan.target_idx, merged)
+            partition_units += vertex_units_per_master
+            partition_units += all_sync_units
+            sync_remote, sync_local = all_sync_remote, all_sync_local
+            num_updated = num_vertices
+        else:
+            state = kernel.apply_messages(state, plan.target_idx, merged)
+            updated_idx = plan.target_idx
+            partition_units += (
+                np.bincount(master_of[updated_idx], minlength=num_partitions)
+                * vertex_compute_units
+            )
+            num_updated = int(updated_idx.size)
+            sync_remote, sync_local = _broadcast_updates(
+                pgraph, cluster, trip.vertex_ids[updated_idx], partition_units
+            )
+        model.record_superstep(
+            report,
+            superstep=supersteps,
+            partition_units=partition_units,
+            messages_remote=shuffle_remote + sync_remote,
+            messages_local=shuffle_local + sync_local,
+            active_vertices=num_updated,
+            edges_scanned=edges_scanned,
+        )
+        if not always_active:
+            active = np.zeros(num_vertices, dtype=bool)
+            active[updated_idx] = True
+
+    return PregelResult(
+        vertex_values=kernel.decode(trip.vertex_ids, state),
+        num_supersteps=report.num_supersteps,
+        report=report,
+    )
+
+
 def aggregate_messages(
     pgraph: PartitionedGraph,
     vertex_values: Dict[int, Any],
@@ -329,19 +524,27 @@ def aggregate_messages(
     cost_parameters: Optional[CostParameters] = None,
     report: Optional[SimulationReport] = None,
     edge_compute_units: float = 1.0,
+    message_kernel: Optional[ArrayMessageKernel] = None,
 ) -> Tuple[Dict[int, Any], SimulationReport]:
     """One-shot ``aggregateMessages``: scan every triplet once and merge per target.
 
     Used by algorithms that are not naturally iterative (degree computation,
     neighbourhood collection for triangle counting).  When ``report`` is
     given, the superstep is appended to it; otherwise a fresh report is
-    created.
+    created.  ``message_kernel`` selects the array-native scan, with the
+    same observable results as the scalar loop.
     """
     cluster = cluster or paper_cluster()
     model = CostModel(cluster, cost_parameters)
     if report is None:
         report = model.new_report()
         report.load_seconds = model.load_seconds(pgraph.dataset_bytes)
+
+    if message_kernel is not None:
+        return _aggregate_messages_array(
+            pgraph, vertex_values, message_kernel, cluster, model, report,
+            edge_compute_units,
+        )
 
     num_partitions = pgraph.num_partitions
     partition_units = [0.0] * num_partitions
@@ -375,3 +578,44 @@ def aggregate_messages(
         edges_scanned=edges_scanned,
     )
     return merged, report
+
+
+def _aggregate_messages_array(
+    pgraph: PartitionedGraph,
+    vertex_values: Dict[int, Any],
+    kernel: ArrayMessageKernel,
+    cluster: ClusterConfig,
+    model: CostModel,
+    report: SimulationReport,
+    edge_compute_units: float,
+) -> Tuple[Dict[int, Any], SimulationReport]:
+    """Array-native one-shot scan behind :func:`aggregate_messages`."""
+    trip = pgraph.triplets()
+    num_partitions = trip.num_partitions
+    state = kernel.encode(trip.vertex_ids, vertex_values)
+
+    partition_units = (
+        np.bincount(trip.edge_pid, minlength=num_partitions).astype(np.float64)
+        * edge_compute_units
+    )
+    positions, target_idx, messages = kernel.send_message_array(
+        trip.src, trip.dst, state
+    )
+    plan = plan_fold(trip.edge_pid[positions], target_idx, trip.num_vertices)
+    merged = fold_messages(kernel, plan, messages)
+    partition_units += (
+        np.bincount(plan.slot_pid, minlength=num_partitions) * _MESSAGE_SERIALIZE_UNITS
+    )
+    remote, local = route_counts(
+        plan, trip.master_of, cluster.executor_map(num_partitions)
+    )
+    model.record_superstep(
+        report,
+        superstep=report.num_supersteps,
+        partition_units=partition_units,
+        messages_remote=remote,
+        messages_local=local,
+        active_vertices=int(plan.target_idx.size),
+        edges_scanned=trip.num_edges,
+    )
+    return kernel.decode_messages(trip.vertex_ids[plan.target_idx], merged), report

@@ -31,7 +31,7 @@ import numpy as np
 
 from .hashing import mix64
 
-__all__ = ["VertexMembership", "master_partition_array"]
+__all__ = ["VertexMembership", "master_partition_array", "segment_arange"]
 
 #: Salt applied before hashing so the vertex-master placement is independent
 #: of the hash values the edge partitioners use (GraphX partitions the
@@ -48,6 +48,22 @@ def master_partition_array(vertex_ids: np.ndarray, num_partitions: int) -> np.nd
     """
     salted = np.asarray(vertex_ids, dtype=np.uint64) ^ np.uint64(MASTER_SALT)
     return (mix64(salted) % np.uint64(num_partitions)).astype(np.int64)
+
+
+def segment_arange(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Flatten CSR-style segments into one position array.
+
+    Returns the concatenation of ``starts[i] + arange(counts[i])`` for
+    every segment — the standard segment-arange expansion used by the
+    membership CSR, the engine's triplet probes and the triangle kernels.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.repeat(starts, counts) + (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(np.cumsum(counts) - counts, counts)
+    )
 
 
 def _unique_pairs(vertex: np.ndarray, partition: np.ndarray, num_partitions: int):
@@ -158,13 +174,7 @@ class VertexMembership:
         """
         starts = self.offsets[indices]
         counts = self.offsets[indices + 1] - starts
-        total = int(counts.sum())
-        if total == 0:
-            return np.empty(0, dtype=np.int64), counts
-        positions = np.repeat(starts, counts) + (
-            np.arange(total, dtype=np.int64) - np.repeat(np.cumsum(counts) - counts, counts)
-        )
-        return positions, counts
+        return segment_arange(starts, counts), counts
 
     def vertices_per_partition(self) -> np.ndarray:
         """Number of distinct vertices mirrored into each partition."""

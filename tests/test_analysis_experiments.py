@@ -12,7 +12,7 @@ from repro.analysis.results import best_partitioner_per_dataset
 from repro.datasets.generators import social_graph
 from repro.errors import AnalysisError
 
-DATASETS = ["youtube", "pocek"]
+DATASETS = ["youtube", "pokec"]
 SCALE = 0.08
 SEED = 4
 
@@ -67,9 +67,9 @@ class TestPartitioningStudy:
             )
 
     def test_finer_granularity_does_not_decrease_comm_cost(self):
-        coarse = run_partitioning_study(num_partitions=8, datasets=["pocek"], scale=SCALE, seed=SEED)
-        fine = run_partitioning_study(num_partitions=32, datasets=["pocek"], scale=SCALE, seed=SEED)
-        for coarse_metrics, fine_metrics in zip(coarse["pocek"], fine["pocek"]):
+        coarse = run_partitioning_study(num_partitions=8, datasets=["pokec"], scale=SCALE, seed=SEED)
+        fine = run_partitioning_study(num_partitions=32, datasets=["pokec"], scale=SCALE, seed=SEED)
+        for coarse_metrics, fine_metrics in zip(coarse["pokec"], fine["pokec"]):
             assert fine_metrics.comm_cost >= coarse_metrics.comm_cost
 
 
@@ -135,7 +135,7 @@ class TestAlgorithmStudy:
 class TestInfrastructureStudy:
     def test_faster_infrastructure_reduces_simulated_time(self):
         results = run_infrastructure_study(
-            dataset="pocek",
+            dataset="pokec",
             partitioner="2D",
             num_partitions=16,
             scale=SCALE,

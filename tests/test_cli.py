@@ -69,6 +69,32 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--backend", "gpu"])
 
+    def test_global_flags_accepted_after_subcommand(self):
+        args = build_parser().parse_args(["characterize", "--scale", "0.05"])
+        assert args.scale == 0.05
+        args = build_parser().parse_args(
+            ["run", "--algorithm", "CC", "--scale", "0.1", "--seed", "3"]
+        )
+        assert args.scale == 0.1
+        assert args.seed == 3
+
+    def test_global_flags_after_subcommand_win(self):
+        args = build_parser().parse_args(["--scale", "0.1", "metrics", "--scale", "0.2"])
+        assert args.scale == 0.2
+
+    def test_global_flag_before_subcommand_survives_subparse(self):
+        args = build_parser().parse_args(["--seed", "7", "advise", "--dataset", "orkut"])
+        assert args.seed == 7
+        assert args.scale == 0.5  # untouched default
+
+    def test_non_positive_partitions_rejected(self):
+        for command in ("metrics", "run"):
+            with pytest.raises(SystemExit) as excinfo:
+                build_parser().parse_args([command, "--partitions", "0"])
+            assert excinfo.value.code == 2
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["advise", "--dataset", "orkut", "--partitions", "-4"])
+
 
 class TestCommands:
     def test_characterize_prints_table(self, capsys):
@@ -77,6 +103,26 @@ class TestCommands:
         assert exit_code == 0
         assert "roadnet-pa" in output
         assert "follow-dec" in output
+
+    def test_characterize_scale_after_subcommand(self, capsys):
+        exit_code = main(["characterize", "--scale", "0.05"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "follow-dec" in output
+
+    def test_unknown_dataset_reports_one_line_error(self, capsys):
+        exit_code = main(["--scale", "0.05", "run", "--datasets", "nosuch"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "nosuch" in captured.err
+        assert "Traceback" not in captured.err
+        assert captured.err.count("\n") == 1  # a single line on stderr
+
+    def test_metrics_unknown_dataset_reports_error(self, capsys):
+        exit_code = main(["--scale", "0.05", "metrics", "--datasets", "nosuch"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert captured.err.startswith("repro: error:")
 
     def test_metrics_prints_partitioners(self, capsys):
         exit_code = main(
@@ -94,7 +140,7 @@ class TestCommands:
                 "run",
                 "--algorithm", "PR",
                 "--partitions", "8",
-                "--datasets", "youtube", "pocek",
+                "--datasets", "youtube", "pokec",
                 "--iterations", "2",
             ]
         )
@@ -126,7 +172,7 @@ class TestCommands:
                 "run",
                 "--algorithm", "PR",
                 "--partitions", "4",
-                "--datasets", "youtube", "pocek",
+                "--datasets", "youtube", "pokec",
                 "--partitioners", "rvc", "2d",
                 "--iterations", "2",
             ]
@@ -158,7 +204,7 @@ class TestCommands:
                 "run",
                 "--algorithm", "PR",
                 "--partitions", "4",
-                "--datasets", "youtube", "pocek",
+                "--datasets", "youtube", "pokec",
                 "--iterations", "2",
                 "--backend", "vectorized",
             ]
@@ -204,4 +250,22 @@ class TestCommands:
         assert exit_code == 0
         assert "[PR]" in output
         assert "backend 'vectorized'" in output
+        assert "at 4 partitions" in output
+        assert "(default)" not in output
         assert "wall-clock" in output
+
+    def test_advise_backend_without_partitions_states_default(self, capsys):
+        # Without --partitions the backend run must say which partition
+        # count it fell back to instead of silently using 16.
+        exit_code = main(
+            [
+                "--scale", "0.05",
+                "advise",
+                "--dataset", "youtube",
+                "--algorithm", "pr",
+                "--backend", "vectorized",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "at 16 partitions (default)" in output

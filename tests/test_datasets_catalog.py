@@ -45,9 +45,20 @@ class TestCatalog:
             load_dataset("orkut", scale=0.0)
 
     def test_load_is_deterministic(self):
-        first = load_dataset("pocek", scale=SCALE, seed=SEED)
-        second = load_dataset("pocek", scale=SCALE, seed=SEED)
+        first = load_dataset("pokec", scale=SCALE, seed=SEED)
+        second = load_dataset("pokec", scale=SCALE, seed=SEED)
         assert first.edge_set() == second.edge_set()
+
+    def test_deprecated_pocek_alias_still_loads(self):
+        # The historical misspelling keeps working, but warns and resolves
+        # to the canonical pokec entry.
+        with pytest.warns(DeprecationWarning, match="pocek"):
+            assert get_spec("pocek").name == "pokec"
+        with pytest.warns(DeprecationWarning):
+            aliased = load_dataset("POCEK", scale=SCALE, seed=SEED)
+        canonical = load_dataset("pokec", scale=SCALE, seed=SEED)
+        assert aliased.name == "pokec"
+        assert aliased.edge_set() == canonical.edge_set()
 
     def test_scale_controls_size(self):
         small = load_dataset("youtube", scale=0.1, seed=SEED)
@@ -85,7 +96,7 @@ class TestShapeFidelity:
 
     def test_directed_social_graphs_have_partial_symmetry(self, graphs):
         for name, low, high in (
-            ("pocek", 35, 75),
+            ("pokec", 35, 75),
             ("soclivejournal", 55, 90),
             ("follow-jul", 20, 60),
             ("follow-dec", 20, 60),

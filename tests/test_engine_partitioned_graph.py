@@ -26,11 +26,14 @@ class TestEdgePartition:
         assert partition.num_edges == 0
         assert partition.num_vertices == 0
 
-    def test_edge_pairs_returns_plain_lists(self):
+    def test_edge_pairs_returns_plain_int_sequences(self):
         partition = EdgePartition(partition_id=0, src=[4, 5], dst=[5, 6])
         src, dst = partition.edge_pairs()
-        assert src == [4, 5]
-        assert dst == [5, 6]
+        # Cached as immutable tuples so no caller can corrupt the shared view.
+        assert list(src) == [4, 5]
+        assert list(dst) == [5, 6]
+        assert all(isinstance(v, int) for v in (*src, *dst))
+        assert partition.edge_pairs() is partition.edge_pairs()
 
 
 class TestPartitionedGraph:

@@ -103,6 +103,33 @@ class TestPregelValidation:
         with pytest.raises(EngineError):
             _min_propagation(pgraph, max_iterations=-1)
 
+    def test_unknown_message_target_raises_engine_error(self):
+        # A send_message that addresses a vertex id outside the graph must
+        # fail with a named EngineError, not a bare KeyError from the
+        # routing table.
+        pgraph = _pgraph(_chain_graph(3), num_partitions=2)
+        values = {int(v): int(v) for v in pgraph.graph.vertex_ids.tolist()}
+        with pytest.raises(EngineError, match=r"unknown vertex 999.*partition"):
+            pregel(
+                pgraph,
+                initial_values=values,
+                initial_message=None,
+                vertex_program=lambda v, val, msg: val,
+                send_message=lambda s, sv, d, dv: ((999, 1),),
+                merge_message=min,
+            )
+
+    def test_unknown_target_in_aggregate_messages_raises(self):
+        pgraph = _pgraph(_chain_graph(3), num_partitions=2)
+        values = {int(v): 0 for v in pgraph.graph.vertex_ids.tolist()}
+        with pytest.raises(EngineError, match="unknown vertex"):
+            aggregate_messages(
+                pgraph,
+                vertex_values=values,
+                send_message=lambda s, sv, d, dv: ((-5, 1),),
+                merge_message=lambda a, b: a + b,
+            )
+
 
 class TestPregelAccounting:
     def test_report_contains_supersteps_and_messages(self, partitioned_social):

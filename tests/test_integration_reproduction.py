@@ -26,7 +26,7 @@ from repro.datasets.catalog import load_all_datasets
 
 SCALE = 0.12
 SEED = 9
-DATASETS = ["roadnet-pa", "youtube", "pocek", "orkut", "follow-jul"]
+DATASETS = ["roadnet-pa", "youtube", "pokec", "orkut", "follow-jul"]
 PARTITIONERS = ["RVC", "1D", "2D", "CRVC", "SC", "DC"]
 
 

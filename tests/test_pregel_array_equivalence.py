@@ -1,0 +1,146 @@
+"""Equivalence: the array-native Pregel superstep path vs the scalar loop.
+
+The PR that introduced ``ArrayMessageKernel`` rewired PageRank, Connected
+Components, ShortestPaths, TriangleCount and the degree computation onto
+vectorised message kernels.  These tests prove the array path is
+*observationally identical* to the scalar loop — bit-identical vertex
+values and identical :class:`SuperstepRecord` counters (edges scanned,
+remote/local messages, partition compute units, simulated seconds) —
+across every registered partitioner and the awkward graph shapes
+(duplicate edges, self-loops, isolated vertices), mirroring
+``tests/test_array_equivalence.py`` for the partitioning pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.connected_components import connected_components
+from repro.algorithms.degrees import degree_count
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.shortest_paths import shortest_paths
+from repro.algorithms.triangle_count import triangle_count
+from repro.core.graph import Graph
+from repro.engine.partitioned_graph import PartitionedGraph
+from repro.partitioning.registry import available_partitioners
+
+ALL_PARTITIONERS = available_partitioners()
+
+
+def _edge_case_graphs():
+    return {
+        "dups-and-loops": Graph([4, 4, 4, 9, 9, 2], [7, 7, 4, 2, 2, 9]),
+        "sparse-ids": Graph([0, 10**9, 10**12], [10**9, 10**12, 0]),
+        "isolated": Graph([1, 2], [2, 3], vertices=[100, 200]),
+        "empty": Graph([], [], vertices=[1, 2, 3]),
+    }
+
+
+def _landmarks_of(graph, count=3):
+    ids = graph.vertex_ids.tolist()
+    return ids[: min(count, len(ids))]
+
+
+def _runners(pgraph):
+    """One ``vectorized=...`` callable per algorithm, on a fixed setup."""
+    landmarks = _landmarks_of(pgraph.graph)
+    return {
+        "PR": lambda v: pagerank(pgraph, num_iterations=5, vectorized=v),
+        "CC": lambda v: connected_components(pgraph, vectorized=v),
+        "SSSP": lambda v: shortest_paths(pgraph, landmarks, vectorized=v),
+        "TR": lambda v: triangle_count(pgraph, vectorized=v),
+        "DEG": lambda v: degree_count(pgraph, direction="both", vectorized=v),
+    }
+
+
+def _assert_identical(scalar, array):
+    # Exact (bit-identical) vertex values: dict equality compares floats
+    # with ==, so any reassociated float sum would fail here.
+    assert scalar.vertex_values == array.vertex_values
+    assert scalar.num_supersteps == array.num_supersteps
+    # SuperstepRecord is a dataclass: == covers every counter and every
+    # derived simulated-seconds figure.
+    assert scalar.report.supersteps == array.report.supersteps
+    assert scalar.report.load_seconds == array.report.load_seconds
+    assert scalar.simulated_seconds == array.simulated_seconds
+
+
+@pytest.mark.parametrize("name", ALL_PARTITIONERS)
+@pytest.mark.parametrize("algorithm", ["PR", "CC", "SSSP", "TR", "DEG"])
+class TestArraySuperstepEquivalence:
+    def test_identical_on_social_graph(self, name, algorithm, small_social_graph):
+        pgraph = PartitionedGraph.partition(small_social_graph, name, 8)
+        run = _runners(pgraph)[algorithm]
+        _assert_identical(run(False), run(True))
+
+    @pytest.mark.parametrize("label", list(_edge_case_graphs()))
+    def test_identical_on_edge_case_graphs(self, name, algorithm, label):
+        graph = _edge_case_graphs()[label]
+        pgraph = PartitionedGraph.partition(graph, name, 5)
+        run = _runners(pgraph)[algorithm]
+        _assert_identical(run(False), run(True))
+
+
+@pytest.mark.parametrize("direction", ["out", "in", "both"])
+def test_degree_directions_identical(direction, small_social_graph):
+    pgraph = PartitionedGraph.partition(small_social_graph, "2D", 8)
+    _assert_identical(
+        degree_count(pgraph, direction=direction, vectorized=False),
+        degree_count(pgraph, direction=direction, vectorized=True),
+    )
+
+
+def test_road_graph_cc_identical(small_road_graph):
+    # Multi-component graph: the shrinking active set exercises the
+    # data-driven (non-always-active) masks and the early-termination
+    # superstep of both paths.
+    pgraph = PartitionedGraph.partition(small_road_graph, "DC", 6)
+    _assert_identical(
+        connected_components(pgraph, vectorized=False),
+        connected_components(pgraph, vectorized=True),
+    )
+
+
+def test_pagerank_iteration_cap_identical(small_social_graph):
+    pgraph = PartitionedGraph.partition(small_social_graph, "1D", 4)
+    for iterations in (1, 3):
+        _assert_identical(
+            pagerank(pgraph, num_iterations=iterations, vectorized=False),
+            pagerank(pgraph, num_iterations=iterations, vectorized=True),
+        )
+
+
+def test_triplet_arrays_match_partition_scan(small_social_graph):
+    """The cached triplet arrays enumerate exactly the partition-major scan
+    the scalar loop performs."""
+    pgraph = PartitionedGraph.partition(small_social_graph, "CRVC", 7)
+    trip = pgraph.triplets()
+    assert pgraph.triplets() is trip  # cached
+    expected = []
+    for partition in pgraph.partitions:
+        src, dst = partition.edge_pairs()
+        expected.extend(
+            (partition.partition_id, s, d) for s, d in zip(src, dst)
+        )
+    ids = trip.vertex_ids
+    got = list(
+        zip(
+            trip.edge_pid.tolist(),
+            ids[trip.src].tolist(),
+            ids[trip.dst].tolist(),
+        )
+    )
+    assert got == expected
+    assert np.array_equal(
+        trip.master_of,
+        np.array([pgraph.routing.master_of(int(v)) for v in ids.tolist()]),
+    )
+
+
+def test_edge_partition_caches_are_stable(small_social_graph):
+    pgraph = PartitionedGraph.partition(small_social_graph, "RVC", 4)
+    partition = pgraph.partitions[0]
+    assert partition.edge_pairs() is partition.edge_pairs()
+    local_src, local_dst = partition.local_triplets()
+    assert partition.local_triplets()[0] is local_src
+    assert np.array_equal(partition.vertex_ids[local_src], partition.src)
+    assert np.array_equal(partition.vertex_ids[local_dst], partition.dst)
