@@ -22,7 +22,7 @@ from bench_utils import print_figure_summary
 from conftest import CONFIG_I_PARTITIONS, CONFIG_II_PARTITIONS
 
 
-def _run(config_partitions, all_graphs, dataset_names, bench_scale, bench_seed):
+def _run(config_partitions, bench_session, dataset_names, bench_scale, bench_seed):
     config = ExperimentConfig(
         algorithm="PR",
         num_partitions=config_partitions,
@@ -31,22 +31,24 @@ def _run(config_partitions, all_graphs, dataset_names, bench_scale, bench_seed):
         seed=bench_seed,
         num_iterations=10,
     )
-    return run_algorithm_study(config, graphs=all_graphs)
+    # The shared session means each (dataset, partitioner, k) triple is
+    # partitioned once per pytest session across the whole figure suite.
+    return run_algorithm_study(config, session=bench_session)
 
 
 @pytest.fixture(scope="module")
-def pagerank_runs(all_graphs, dataset_names, bench_scale, bench_seed):
+def pagerank_runs(bench_session, dataset_names, bench_scale, bench_seed):
     return {
-        "config-i": _run(CONFIG_I_PARTITIONS, all_graphs, dataset_names, bench_scale, bench_seed),
-        "config-ii": _run(CONFIG_II_PARTITIONS, all_graphs, dataset_names, bench_scale, bench_seed),
+        "config-i": _run(CONFIG_I_PARTITIONS, bench_session, dataset_names, bench_scale, bench_seed),
+        "config-ii": _run(CONFIG_II_PARTITIONS, bench_session, dataset_names, bench_scale, bench_seed),
     }
 
 
-def test_fig3_pagerank_config_i(benchmark, all_graphs, dataset_names, bench_scale, bench_seed):
+def test_fig3_pagerank_config_i(benchmark, bench_session, dataset_names, bench_scale, bench_seed):
     """Figure 3, configuration (i): 128 partitions."""
     records = benchmark.pedantic(
         _run,
-        args=(CONFIG_I_PARTITIONS, all_graphs, dataset_names, bench_scale, bench_seed),
+        args=(CONFIG_I_PARTITIONS, bench_session, dataset_names, bench_scale, bench_seed),
         rounds=1,
         iterations=1,
     )
@@ -60,11 +62,11 @@ def test_fig3_pagerank_config_i(benchmark, all_graphs, dataset_names, bench_scal
     assert correlations["comm_cost"] > correlations["part_stdev"]
 
 
-def test_fig3_pagerank_config_ii(benchmark, all_graphs, dataset_names, bench_scale, bench_seed):
+def test_fig3_pagerank_config_ii(benchmark, bench_session, dataset_names, bench_scale, bench_seed):
     """Figure 3, configuration (ii): 256 partitions."""
     records = benchmark.pedantic(
         _run,
-        args=(CONFIG_II_PARTITIONS, all_graphs, dataset_names, bench_scale, bench_seed),
+        args=(CONFIG_II_PARTITIONS, bench_session, dataset_names, bench_scale, bench_seed),
         rounds=1,
         iterations=1,
     )

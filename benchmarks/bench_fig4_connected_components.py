@@ -15,7 +15,7 @@ from bench_utils import print_figure_summary
 from conftest import CONFIG_I_PARTITIONS, CONFIG_II_PARTITIONS
 
 
-def _run(config_partitions, all_graphs, dataset_names, bench_scale, bench_seed):
+def _run(config_partitions, bench_session, dataset_names, bench_scale, bench_seed):
     config = ExperimentConfig(
         algorithm="CC",
         num_partitions=config_partitions,
@@ -24,16 +24,18 @@ def _run(config_partitions, all_graphs, dataset_names, bench_scale, bench_seed):
         seed=bench_seed,
         num_iterations=10,
     )
-    return run_algorithm_study(config, graphs=all_graphs)
+    # Shared session: placements built by the other figure modules are
+    # reused here instead of re-partitioned.
+    return run_algorithm_study(config, session=bench_session)
 
 
 def test_fig4_connected_components_config_i(
-    benchmark, all_graphs, dataset_names, bench_scale, bench_seed
+    benchmark, bench_session, dataset_names, bench_scale, bench_seed
 ):
     """Figure 4, configuration (i)."""
     records = benchmark.pedantic(
         _run,
-        args=(CONFIG_I_PARTITIONS, all_graphs, dataset_names, bench_scale, bench_seed),
+        args=(CONFIG_I_PARTITIONS, bench_session, dataset_names, bench_scale, bench_seed),
         rounds=1,
         iterations=1,
     )
@@ -47,12 +49,12 @@ def test_fig4_connected_components_config_i(
 
 
 def test_fig4_connected_components_config_ii(
-    benchmark, all_graphs, dataset_names, bench_scale, bench_seed
+    benchmark, bench_session, dataset_names, bench_scale, bench_seed
 ):
     """Figure 4, configuration (ii)."""
     records = benchmark.pedantic(
         _run,
-        args=(CONFIG_II_PARTITIONS, all_graphs, dataset_names, bench_scale, bench_seed),
+        args=(CONFIG_II_PARTITIONS, bench_session, dataset_names, bench_scale, bench_seed),
         rounds=1,
         iterations=1,
     )
@@ -64,13 +66,11 @@ def test_fig4_connected_components_config_ii(
     assert correlations["comm_cost"] > 0.7
 
 
-def test_fig4_active_set_shrinks(benchmark, all_graphs, bench_scale, bench_seed):
+def test_fig4_active_set_shrinks(benchmark, bench_session, bench_scale, bench_seed):
     """CC converges for most vertices after a few iterations (the paper's explanation)."""
     from repro.algorithms.connected_components import connected_components
-    from repro.engine.partitioned_graph import PartitionedGraph
 
-    graph = all_graphs["soclivejournal"]
-    pgraph = PartitionedGraph.partition(graph, "2D", CONFIG_I_PARTITIONS)
+    pgraph = bench_session.partitioned("soclivejournal", "2D", CONFIG_I_PARTITIONS)
 
     result = benchmark.pedantic(
         lambda: connected_components(pgraph, max_iterations=10), rounds=1, iterations=1

@@ -21,7 +21,7 @@ from bench_utils import print_figure_summary
 from conftest import CONFIG_I_PARTITIONS, CONFIG_II_PARTITIONS
 
 
-def _run(config_partitions, all_graphs, dataset_names, bench_scale, bench_seed):
+def _run(config_partitions, bench_session, dataset_names, bench_scale, bench_seed):
     config = ExperimentConfig(
         algorithm="TR",
         num_partitions=config_partitions,
@@ -29,22 +29,24 @@ def _run(config_partitions, all_graphs, dataset_names, bench_scale, bench_seed):
         scale=bench_scale,
         seed=bench_seed,
     )
-    return run_algorithm_study(config, graphs=all_graphs)
+    # Shared session: placements built by the other figure modules are
+    # reused here instead of re-partitioned.
+    return run_algorithm_study(config, session=bench_session)
 
 
 @pytest.fixture(scope="module")
-def triangle_runs(all_graphs, dataset_names, bench_scale, bench_seed):
+def triangle_runs(bench_session, dataset_names, bench_scale, bench_seed):
     return {
-        "config-i": _run(CONFIG_I_PARTITIONS, all_graphs, dataset_names, bench_scale, bench_seed),
-        "config-ii": _run(CONFIG_II_PARTITIONS, all_graphs, dataset_names, bench_scale, bench_seed),
+        "config-i": _run(CONFIG_I_PARTITIONS, bench_session, dataset_names, bench_scale, bench_seed),
+        "config-ii": _run(CONFIG_II_PARTITIONS, bench_session, dataset_names, bench_scale, bench_seed),
     }
 
 
-def test_fig5_triangle_count_config_i(benchmark, all_graphs, dataset_names, bench_scale, bench_seed):
+def test_fig5_triangle_count_config_i(benchmark, bench_session, dataset_names, bench_scale, bench_seed):
     """Figure 5, configuration (i)."""
     records = benchmark.pedantic(
         _run,
-        args=(CONFIG_I_PARTITIONS, all_graphs, dataset_names, bench_scale, bench_seed),
+        args=(CONFIG_I_PARTITIONS, bench_session, dataset_names, bench_scale, bench_seed),
         rounds=1,
         iterations=1,
     )
@@ -57,11 +59,11 @@ def test_fig5_triangle_count_config_i(benchmark, all_graphs, dataset_names, benc
     assert correlations["cut"] > 0.5
 
 
-def test_fig5_triangle_count_config_ii(benchmark, all_graphs, dataset_names, bench_scale, bench_seed):
+def test_fig5_triangle_count_config_ii(benchmark, bench_session, dataset_names, bench_scale, bench_seed):
     """Figure 5, configuration (ii)."""
     records = benchmark.pedantic(
         _run,
-        args=(CONFIG_II_PARTITIONS, all_graphs, dataset_names, bench_scale, bench_seed),
+        args=(CONFIG_II_PARTITIONS, bench_session, dataset_names, bench_scale, bench_seed),
         rounds=1,
         iterations=1,
     )

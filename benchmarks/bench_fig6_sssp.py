@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from repro.algorithms.shortest_paths import choose_landmarks, shortest_paths
 from repro.analysis.results import RunRecord
-from repro.engine.partitioned_graph import PartitionedGraph
 from repro.partitioning.registry import PAPER_PARTITIONER_NAMES
 
 from bench_utils import print_figure_summary
@@ -20,12 +19,14 @@ from conftest import CONFIG_I_PARTITIONS, CONFIG_II_PARTITIONS
 NUM_SOURCES = 5
 
 
-def _run(num_partitions, social_graphs, bench_seed):
+def _run(num_partitions, social_graphs, bench_session, bench_seed):
     records = []
     for dataset, graph in social_graphs.items():
         landmarks = choose_landmarks(graph, count=NUM_SOURCES, seed=bench_seed + 13)
         for partitioner in PAPER_PARTITIONER_NAMES:
-            pgraph = PartitionedGraph.partition(graph, partitioner, num_partitions)
+            # Resolved through the shared session cache: figures 3-5
+            # already built these placements for the social datasets.
+            pgraph = bench_session.partitioned(dataset, partitioner, num_partitions)
             total_seconds = 0.0
             total_supersteps = 0
             for landmark in landmarks:
@@ -46,10 +47,13 @@ def _run(num_partitions, social_graphs, bench_seed):
     return records
 
 
-def test_fig6_sssp_config_i(benchmark, social_graphs, bench_scale, bench_seed):
+def test_fig6_sssp_config_i(benchmark, social_graphs, bench_session, bench_scale, bench_seed):
     """Figure 6, configuration (i): social datasets only, 5-source average."""
     records = benchmark.pedantic(
-        _run, args=(CONFIG_I_PARTITIONS, social_graphs, bench_seed), rounds=1, iterations=1
+        _run,
+        args=(CONFIG_I_PARTITIONS, social_graphs, bench_session, bench_seed),
+        rounds=1,
+        iterations=1,
     )
     correlations = print_figure_summary(
         f"Figure 6 (config i, {CONFIG_I_PARTITIONS} partitions) — SSSP time vs CommCost "
@@ -61,10 +65,13 @@ def test_fig6_sssp_config_i(benchmark, social_graphs, bench_scale, bench_seed):
     assert correlations["comm_cost"] > correlations["balance"]
 
 
-def test_fig6_sssp_config_ii(benchmark, social_graphs, bench_scale, bench_seed):
+def test_fig6_sssp_config_ii(benchmark, social_graphs, bench_session, bench_scale, bench_seed):
     """Figure 6, configuration (ii)."""
     records = benchmark.pedantic(
-        _run, args=(CONFIG_II_PARTITIONS, social_graphs, bench_seed), rounds=1, iterations=1
+        _run,
+        args=(CONFIG_II_PARTITIONS, social_graphs, bench_session, bench_seed),
+        rounds=1,
+        iterations=1,
     )
     correlations = print_figure_summary(
         f"Figure 6 (config ii, {CONFIG_II_PARTITIONS} partitions) — SSSP time vs CommCost "

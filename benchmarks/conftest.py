@@ -12,6 +12,7 @@ import os
 
 import pytest
 
+from repro import Session
 from repro.datasets.catalog import PAPER_DATASET_NAMES, load_all_datasets
 
 #: Scale factor applied to every synthetic dataset (1.0 = the catalog's
@@ -41,6 +42,18 @@ def bench_seed() -> int:
 def all_graphs(bench_scale, bench_seed):
     """All nine dataset analogues, generated once per session."""
     return load_all_datasets(scale=bench_scale, seed=bench_seed)
+
+
+@pytest.fixture(scope="session")
+def bench_session(all_graphs, bench_scale, bench_seed) -> Session:
+    """One shared Session for the whole figure suite.
+
+    Figures 3-6 all sweep the same (dataset, partitioner, granularity)
+    triples; sharing the session's partition cache across benchmark
+    modules means each triple is partitioned exactly once per pytest
+    session instead of once per figure.
+    """
+    return Session(scale=bench_scale, seed=bench_seed, graphs=all_graphs)
 
 
 @pytest.fixture(scope="session")

@@ -20,7 +20,7 @@ from __future__ import annotations
 import sys
 
 from repro import (
-    PartitionedGraph,
+    Session,
     load_dataset,
     recommend_empirically,
     recommend_partitioner,
@@ -34,6 +34,9 @@ NUM_PARTITIONS = 64
 
 def main(dataset: str = "soclivejournal", algorithm: str = "PR") -> None:
     graph = load_dataset(dataset, scale=0.5, seed=7)
+    # One session across the advisor and the verification runs: the
+    # placements the advisor measures in step 2 are reused in step 3.
+    session = Session(scale=0.5, seed=7)
     summary = summarize(graph)
     print(f"Dataset {dataset}: {summary.num_vertices} vertices, {summary.num_edges} edges, "
           f"symmetry {summary.symmetry_percent:.1f}%, "
@@ -46,7 +49,7 @@ def main(dataset: str = "soclivejournal", algorithm: str = "PR") -> None:
     # Step 2: measure the cheap partitioning metrics for every candidate and
     # pick the minimiser of the metric that predicts runtime for this
     # algorithm (CommCost for PR/CC/SSSP, Cut for TR).
-    empirical = recommend_empirically(graph, algorithm, NUM_PARTITIONS)
+    empirical = recommend_empirically(graph, algorithm, NUM_PARTITIONS, session=session)
     print(f"Empirical recommendation: {empirical}")
     rows = [
         {"partitioner": name, empirical.metric: int(value)}
@@ -62,7 +65,7 @@ def main(dataset: str = "soclivejournal", algorithm: str = "PR") -> None:
         ("empirical", empirical.partitioner),
         ("baseline (RVC)", "RVC"),
     ):
-        pgraph = PartitionedGraph.partition(graph, strategy, NUM_PARTITIONS)
+        pgraph = session.partitioned(dataset, strategy, NUM_PARTITIONS)
         outcome = run_algorithm(algorithm, pgraph, num_iterations=10)
         results.append(
             {
@@ -76,6 +79,9 @@ def main(dataset: str = "soclivejournal", algorithm: str = "PR") -> None:
     print(format_table(results))
     fastest = min(results, key=lambda row: row["seconds"])
     print(f"\nFastest policy here: {fastest['policy']} ({fastest['partitioner']})")
+    stats = session.stats
+    print(f"Partition cache: {stats.partition_builds} builds, "
+          f"{stats.partition_hits} hits across advisor + verification runs")
 
 
 if __name__ == "__main__":

@@ -5,6 +5,12 @@ table of the paper (correlation coefficients, best partitioners,
 granularity and infrastructure effects) and prints them next to the values
 the paper reports.  It is the script used to populate EXPERIMENTS.md.
 
+Every study runs through one shared :class:`repro.Session`, so each
+(dataset, partitioner, granularity) triple is partitioned exactly once
+even though four algorithm sweeps, two metric tables and the
+infrastructure study all consume it; the cache accounting is printed at
+the end.
+
 Run with::
 
     python examples/full_reproduction_summary.py [scale]
@@ -14,9 +20,14 @@ from __future__ import annotations
 
 import sys
 
-from repro import ExperimentConfig, run_algorithm_study, run_partitioning_study
+from repro import (
+    ExperimentConfig,
+    Session,
+    run_algorithm_study,
+    run_infrastructure_study,
+    run_partitioning_study,
+)
 from repro.analysis import best_partitioner_per_dataset, correlation_with_time
-from repro.analysis.experiments import run_infrastructure_study
 from repro.analysis.results import group_by_dataset
 from repro.datasets.catalog import PAPER_DATASET_NAMES, load_all_datasets
 from repro.datasets.characterization import build_table1, format_table1
@@ -26,14 +37,17 @@ SOCIAL = ["youtube", "pokec", "orkut", "soclivejournal", "follow-jul", "follow-d
 
 def main(scale: float = 0.35, seed: int = 17) -> None:
     graphs = load_all_datasets(scale=scale, seed=seed)
+    # One session for the entire evaluation: every study below shares the
+    # same dataset registry and partitioned-graph cache.
+    session = Session(scale=scale, seed=seed, graphs=graphs)
 
     print("### Table 1 — dataset characterisation")
     print(format_table1(build_table1(scale=scale, seed=seed)))
     print()
 
     print("### Tables 2/3 — partitioning metrics movement (128 -> 256 partitions)")
-    coarse = run_partitioning_study(128, graphs=graphs)
-    fine = run_partitioning_study(256, graphs=graphs)
+    coarse = run_partitioning_study(128, session=session)
+    fine = run_partitioning_study(256, session=session)
     growth = []
     for dataset in PAPER_DATASET_NAMES:
         for c, f in zip(coarse[dataset], fine[dataset]):
@@ -63,7 +77,7 @@ def main(scale: float = 0.35, seed: int = 17) -> None:
                 num_iterations=10,
                 landmark_count=5,
             )
-            records = run_algorithm_study(config, graphs=graphs)
+            records = run_algorithm_study(config, session=session)
             value = correlation_with_time(records, metric)
             other = correlation_with_time(records, "comm_cost" if metric == "cut" else "cut")
             best = best_partitioner_per_dataset(records)
@@ -81,12 +95,19 @@ def main(scale: float = 0.35, seed: int = 17) -> None:
     print("### Section 4 — infrastructure study (PR on follow-dec, 256 partitions)")
     results = run_infrastructure_study(
         dataset="follow-dec", partitioner="2D", num_partitions=256,
-        num_iterations=10, graph=graphs["follow-dec"],
+        num_iterations=10, session=session,
     )
     baseline = results[0]
     for result in results:
         print(f"  {result.label:30s} {result.simulated_seconds:8.4f}s "
               f"({result.speedup_vs(baseline) * 100:5.1f}% faster; paper: 15% for iii, 20% for iv)")
+    print()
+
+    stats = session.stats
+    print("### Session cache accounting")
+    print(f"  partition builds: {stats.partition_builds} (unique triples across every study)")
+    print(f"  partition cache hits: {stats.partition_hits} "
+          f"(cells served without re-partitioning)")
 
 
 if __name__ == "__main__":

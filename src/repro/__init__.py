@@ -13,17 +13,30 @@ of Kolokasis & Pratikakis' study of vertex-cut partitioning in GraphX:
   and SSSP on top of the engine;
 * :mod:`repro.backends` — pluggable execution backends: the ``reference``
   cost-model simulator and the ``vectorized`` CSR/numpy kernels;
-* :mod:`repro.analysis` — the experiment harness, correlation analysis and
-  the "cut to fit" partitioner advisor.
+* :mod:`repro.session` — the unified experiment API: :class:`Session`
+  (memoized dataset loads + partitioned-graph cache),
+  :class:`ExperimentPlan` (the declarative grid planner) and
+  :class:`ResultSet` (queryable, serialisable run records);
+* :mod:`repro.analysis` — correlation analysis, the "cut to fit"
+  partitioner advisor, and the legacy study entry points (now thin
+  wrappers over the session planner).
 
 Quickstart
 ----------
->>> from repro import load_dataset, PartitionedGraph, pagerank
->>> graph = load_dataset("youtube", scale=0.2)
->>> pgraph = PartitionedGraph.partition(graph, "2D", num_partitions=16)
->>> result = pagerank(pgraph, num_iterations=10)
->>> round(result.simulated_seconds, 3) > 0
+>>> from repro import Session
+>>> session = Session(scale=0.2)
+>>> results = (
+...     session.plan()
+...     .datasets("youtube")
+...     .partitioners("2D", "DC")
+...     .granularities(16)
+...     .algorithms("PR")
+...     .run()
+... )
+>>> results.best().partitioner in {"2D", "DC"}
 True
+>>> session.stats.partition_builds
+2
 """
 
 from ._version import __version__
@@ -39,13 +52,19 @@ from .algorithms import (
 )
 from .analysis import (
     ExperimentConfig,
+    GranularityPoint,
+    GranularitySweep,
+    InfrastructureResult,
     Recommendation,
     RunRecord,
+    load_records,
     recommend_empirically,
     recommend_partitioner,
     run_algorithm_study,
     run_infrastructure_study,
     run_partitioning_study,
+    save_records,
+    sweep_granularity,
 )
 from .backends import (
     Backend,
@@ -77,6 +96,13 @@ from .partitioning import (
     make_partitioner,
     paper_partitioners,
 )
+from .session import (
+    CacheStats,
+    ExperimentPlan,
+    PlannedRun,
+    ResultSet,
+    Session,
+)
 
 __all__ = [
     "__version__",
@@ -85,25 +111,33 @@ __all__ = [
     "Backend",
     "BackendError",
     "CSRGraph",
+    "CacheStats",
     "ClusterConfig",
     "CostParameters",
     "DatasetError",
     "EngineError",
     "ExperimentConfig",
+    "ExperimentPlan",
     "EXTENSION_PARTITIONER_NAMES",
+    "GranularityPoint",
+    "GranularitySweep",
     "Graph",
     "GraphBuilder",
     "GraphIOError",
     "GraphSummary",
     "GraphValidationError",
+    "InfrastructureResult",
     "PAPER_DATASET_NAMES",
     "PAPER_PARTITIONER_NAMES",
     "PartitionedGraph",
     "PartitioningError",
     "PartitioningMetrics",
+    "PlannedRun",
     "Recommendation",
     "ReproError",
+    "ResultSet",
     "RunRecord",
+    "Session",
     "VertexMembership",
     "available_backends",
     "canonical_partitioner_name",
@@ -113,6 +147,7 @@ __all__ = [
     "get_backend",
     "load_all_datasets",
     "load_dataset",
+    "load_records",
     "make_partitioner",
     "pagerank",
     "paper_cluster",
@@ -126,8 +161,10 @@ __all__ = [
     "run_algorithm_study",
     "run_infrastructure_study",
     "run_partitioning_study",
+    "save_records",
     "shortest_paths",
     "summarize",
+    "sweep_granularity",
     "total_triangles",
     "triangle_count",
     "validate_backends",

@@ -3,7 +3,12 @@
 from .connected_components import connected_components
 from .degrees import degree_count
 from .pagerank import pagerank, reference_pagerank
-from .registry import ALGORITHM_NAMES, algorithm_metric_of_interest, run_algorithm
+from .registry import (
+    ALGORITHM_NAMES,
+    algorithm_metric_of_interest,
+    canonical_algorithm_name,
+    run_algorithm,
+)
 from .result import AlgorithmResult
 from .shortest_paths import choose_landmarks, shortest_paths
 from .triangle_count import total_triangles, triangle_count
@@ -12,6 +17,7 @@ __all__ = [
     "AlgorithmResult",
     "ALGORITHM_NAMES",
     "algorithm_metric_of_interest",
+    "canonical_algorithm_name",
     "choose_landmarks",
     "connected_components",
     "degree_count",

@@ -29,6 +29,7 @@ from .triangle_count import triangle_count
 
 __all__ = [
     "ALGORITHM_NAMES",
+    "canonical_algorithm_name",
     "run_algorithm",
     "run_reference_algorithm",
     "algorithm_metric_of_interest",
@@ -36,6 +37,30 @@ __all__ = [
 
 #: The paper's four algorithms, with their abbreviations.
 ALGORITHM_NAMES: List[str] = ["PR", "CC", "TR", "SSSP"]
+
+#: Long-form spellings accepted wherever an algorithm name is parsed.
+_ALGORITHM_ALIASES: Dict[str, str] = {
+    "PAGERANK": "PR",
+    "CONNECTEDCOMPONENTS": "CC",
+    "TRIANGLECOUNT": "TR",
+    "TRIANGLES": "TR",
+    "SHORTESTPATHS": "SSSP",
+}
+
+
+def canonical_algorithm_name(name: str) -> str:
+    """Resolve an algorithm name case-insensitively to its abbreviation.
+
+    Accepts the paper's abbreviations (``"pr"`` -> ``"PR"``) and the
+    long-form aliases (``"PageRank"``, ``"Triangles"``, ...).
+    """
+    key = str(name).upper()
+    key = _ALGORITHM_ALIASES.get(key, key)
+    if key not in ALGORITHM_NAMES:
+        raise EngineError(
+            f"unknown algorithm {name!r}; expected one of {ALGORITHM_NAMES}"
+        )
+    return key
 
 #: The partitioning metric Section 4 found most predictive for each algorithm.
 _METRIC_OF_INTEREST: Dict[str, str] = {

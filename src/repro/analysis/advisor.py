@@ -22,18 +22,20 @@ metric the paper identifies for the algorithm.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Optional, Sequence, Union
 
-from ..algorithms.registry import ALGORITHM_NAMES, algorithm_metric_of_interest
+from ..algorithms.registry import (
+    algorithm_metric_of_interest,
+    canonical_algorithm_name,
+)
 from ..core.graph import Graph
 from ..core.properties import GraphSummary, summarize
-from ..errors import AnalysisError
-from ..metrics.partition_metrics import PartitioningMetrics, compute_metrics
+from ..errors import AnalysisError, EngineError
 from ..partitioning.registry import (
     PAPER_PARTITIONER_NAMES,
     canonical_partitioner_name,
-    make_partitioner,
 )
+from ..session import Session
 
 __all__ = ["Recommendation", "recommend_partitioner", "recommend_empirically"]
 
@@ -62,20 +64,11 @@ class Recommendation:
 
 
 def _normalise_algorithm(algorithm: str) -> str:
-    key = algorithm.upper()
-    aliases = {
-        "PAGERANK": "PR",
-        "CONNECTEDCOMPONENTS": "CC",
-        "TRIANGLECOUNT": "TR",
-        "TRIANGLES": "TR",
-        "SHORTESTPATHS": "SSSP",
-    }
-    key = aliases.get(key, key)
-    if key not in ALGORITHM_NAMES:
-        raise AnalysisError(
-            f"unknown algorithm {algorithm!r}; expected one of {ALGORITHM_NAMES}"
-        )
-    return key
+    try:
+        return canonical_algorithm_name(algorithm)
+    except EngineError as error:
+        # The advisor is part of the analysis layer; keep its error type.
+        raise AnalysisError(str(error)) from error
 
 
 def _summary_of(graph_or_summary: Union[Graph, GraphSummary]) -> GraphSummary:
@@ -150,6 +143,7 @@ def recommend_empirically(
     algorithm: str,
     num_partitions: int,
     candidates: Optional[Sequence[str]] = None,
+    session: Optional[Session] = None,
 ) -> Recommendation:
     """Measure candidate partitioners and pick the one minimising the paper's metric.
 
@@ -157,6 +151,10 @@ def recommend_empirically(
     paper advocates: compute the cheap partitioning metrics for every
     candidate strategy, then choose by the metric that predicts runtime for
     the algorithm at hand (CommCost for PR/CC/SSSP, Cut for TR).
+
+    The candidates run as a metrics-only plan over a :class:`Session`;
+    pass a shared ``session`` and the advisor reuses placements other
+    studies already built (and leaves its own behind for them).
     """
     key = _normalise_algorithm(algorithm)
     metric = algorithm_metric_of_interest(key)
@@ -168,14 +166,19 @@ def recommend_empirically(
     if not names:
         raise AnalysisError("at least one candidate partitioner is required")
 
+    dataset = graph.name or "graph"
+    if session is None:
+        session = Session()
+    session.adopt_graph(dataset, graph)
+    plan = (
+        session.plan()
+        .datasets(dataset)
+        .partitioners(names)
+        .granularities(num_partitions)
+    )
     scores: Dict[str, float] = {}
-    metrics_by_name: Dict[str, PartitioningMetrics] = {}
-    for name in names:
-        strategy = make_partitioner(name)
-        assignment = strategy.assign(graph, num_partitions)
-        measured = compute_metrics(assignment)
-        metrics_by_name[name] = measured
-        scores[name] = measured.value(metric)
+    for record in plan.run():
+        scores[record.partitioner] = record.metrics.value(metric)
 
     best = min(scores, key=lambda name: (scores[name], names.index(name)))
     granularity = "fine" if key in ("CC", "TR") else "coarse"

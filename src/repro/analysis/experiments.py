@@ -1,6 +1,8 @@
 """Experiment harness: the sweeps behind every table and figure.
 
-Three entry points cover the paper's evaluation:
+These entry points predate the declarative planner in
+:mod:`repro.session` and are kept as thin backward-compatible wrappers
+over it — same signatures, same record order, same values:
 
 * :func:`run_partitioning_study` — Tables 2 and 3 (metrics of every
   partitioner on every dataset at one granularity);
@@ -8,28 +10,28 @@ Three entry points cover the paper's evaluation:
   one algorithm for every dataset x partitioner at one granularity);
 * :func:`run_infrastructure_study` — the Section 4 experiment that varies
   the network speed and storage medium (configurations ii/iii/iv).
+
+Every wrapper accepts an optional ``session=``: pass one shared
+:class:`~repro.session.Session` across calls and the studies reuse each
+other's dataset loads and cached placements (a full Figure 3-6
+reproduction then partitions each ``(dataset, partitioner, k)`` triple
+exactly once).  New code should prefer ``session.plan()`` directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..algorithms.registry import run_algorithm
-from ..algorithms.shortest_paths import choose_landmarks
-from ..backends import get_backend
 from ..core.graph import Graph
-from ..datasets.catalog import PAPER_DATASET_NAMES, load_dataset
+from ..datasets.catalog import PAPER_DATASET_NAMES
 from ..engine.cluster import ClusterConfig, paper_cluster
 from ..engine.cost_model import CostParameters
-from ..engine.partitioned_graph import PartitionedGraph
 from ..errors import AnalysisError
-from ..metrics.partition_metrics import PartitioningMetrics, compute_metrics
-from ..partitioning.registry import (
-    PAPER_PARTITIONER_NAMES,
-    canonical_partitioner_name,
-    make_partitioner,
-)
+from ..metrics.partition_metrics import PartitioningMetrics
+from ..partitioning.registry import PAPER_PARTITIONER_NAMES, canonical_partitioner_name
+from ..session import Session
 from .results import RunRecord
 
 __all__ = [
@@ -76,96 +78,100 @@ class ExperimentConfig:
         self.partitioners = [canonical_partitioner_name(name) for name in self.partitioners]
 
 
-def _resolve_graphs(
-    names: Sequence[str],
+def _session_for(
     scale: float,
     seed: int,
-    graphs: Optional[Dict[str, Graph]] = None,
-) -> Dict[str, Graph]:
+    graphs: Optional[Dict[str, Graph]],
+    names: Sequence[str],
+    session: Optional[Session],
+) -> Session:
+    """Resolve the session a wrapper call runs against.
+
+    An explicit ``graphs`` dict must cover every requested dataset (the
+    legacy harness contract); its entries are registered on the session so
+    they are used regardless of scale/seed, exactly as before.  A shared
+    session whose scale/seed differ from the requested ones is rejected
+    unless every dataset it would have to load is already registered —
+    otherwise the study would silently run at the wrong scale.
+    """
     if graphs is not None:
         missing = [name for name in names if name not in graphs]
         if missing:
             raise AnalysisError(f"graphs missing for datasets: {missing}")
-        return {name: graphs[name] for name in names}
-    return {name: load_dataset(name, scale=scale, seed=seed) for name in names}
+    if session is None:
+        session = Session(scale=scale, seed=seed)
+    if graphs is not None:
+        for name in names:
+            # adopt_graph (not add_graph): a conflicting name on a shared
+            # session raises instead of silently swapping the dataset out
+            # from under the session's other consumers.
+            session.adopt_graph(name, graphs[name])
+    if session.scale != scale or session.seed != seed:
+        unregistered = [name for name in names if not session.is_registered(name)]
+        if unregistered:
+            raise AnalysisError(
+                f"session (scale={session.scale}, seed={session.seed}) does not match "
+                f"the requested scale={scale}, seed={seed}, and datasets {unregistered} "
+                f"are not registered on it; pass matching values or register the graphs"
+            )
+    return session
 
 
 def run_partitioning_study(
     num_partitions: int,
-    datasets: Sequence[str] = None,
-    partitioners: Sequence[str] = None,
+    datasets: Optional[Sequence[str]] = None,
+    partitioners: Optional[Sequence[str]] = None,
     scale: float = 1.0,
     seed: int = 0,
     graphs: Optional[Dict[str, Graph]] = None,
+    session: Optional[Session] = None,
 ) -> Dict[str, List[PartitioningMetrics]]:
-    """Compute Table 2/3: metrics of every partitioner on every dataset."""
-    dataset_names = list(datasets or PAPER_DATASET_NAMES)
-    partitioner_names = [
-        canonical_partitioner_name(name)
-        for name in (partitioners or PAPER_PARTITIONER_NAMES)
-    ]
-    resolved = _resolve_graphs(dataset_names, scale, seed, graphs)
+    """Compute Table 2/3: metrics of every partitioner on every dataset.
 
+    A metrics-only plan: no algorithm executes, every cell just resolves
+    its placement through the session cache and reads the Section 3.1
+    metrics.
+    """
+    dataset_names = list(datasets or PAPER_DATASET_NAMES)
+    partitioner_names = list(partitioners or PAPER_PARTITIONER_NAMES)
+    session = _session_for(scale, seed, graphs, dataset_names, session)
+    plan = (
+        session.plan()
+        .datasets(dataset_names)
+        .partitioners(partitioner_names)
+        .granularities(num_partitions)
+    )
+    records = list(plan.run())
+    # Chunk the dataset-major records back into per-dataset rows.  A
+    # duplicated dataset name overwrites its earlier entry (one row per
+    # partitioner), exactly as the legacy per-dataset assignment did.
     table: Dict[str, List[PartitioningMetrics]] = {}
-    for dataset_name in dataset_names:
-        graph = resolved[dataset_name]
-        rows = []
-        for partitioner_name in partitioner_names:
-            strategy = make_partitioner(partitioner_name)
-            assignment = strategy.assign(graph, num_partitions)
-            # compute_metrics consumes the assignment's cached
-            # VertexMembership arrays; no per-vertex dicts are built on
-            # this path even at the paper's 128/256 granularities.
-            rows.append(compute_metrics(assignment))
-        table[dataset_name] = rows
+    for index, name in enumerate(dataset_names):
+        chunk = records[index * len(partitioner_names):(index + 1) * len(partitioner_names)]
+        table[name] = [record.metrics for record in chunk]
     return table
 
 
 def run_algorithm_study(
     config: ExperimentConfig,
     graphs: Optional[Dict[str, Graph]] = None,
+    session: Optional[Session] = None,
 ) -> List[RunRecord]:
     """Run one algorithm over every (dataset, partitioner) pair of the config."""
-    cluster = config.cluster or paper_cluster()
-    resolved = _resolve_graphs(list(config.datasets), config.scale, config.seed, graphs)
-    partition_oblivious = not get_backend(config.backend).uses_partitioning
-
-    records: List[RunRecord] = []
-    for dataset_name in config.datasets:
-        graph = resolved[dataset_name]
-        landmarks = None
-        if config.algorithm.upper() == "SSSP":
-            landmarks = choose_landmarks(graph, count=config.landmark_count, seed=config.seed + 7)
-        result = None
-        for partitioner_name in config.partitioners:
-            pgraph = PartitionedGraph.partition(graph, partitioner_name, config.num_partitions)
-            # A partition-oblivious backend (e.g. ``vectorized``) produces
-            # identical results for every placement, so run it once per
-            # dataset and reuse the outcome for each partitioner row.
-            if result is None or not partition_oblivious:
-                result = run_algorithm(
-                    config.algorithm,
-                    pgraph,
-                    num_iterations=config.num_iterations,
-                    landmarks=landmarks,
-                    cluster=cluster,
-                    cost_parameters=config.cost_parameters,
-                    backend=config.backend,
-                )
-            records.append(
-                RunRecord(
-                    dataset=dataset_name,
-                    partitioner=partitioner_name,
-                    num_partitions=config.num_partitions,
-                    algorithm=config.algorithm.upper(),
-                    metrics=pgraph.metrics,
-                    simulated_seconds=result.simulated_seconds,
-                    num_supersteps=result.num_supersteps,
-                    backend=result.backend,
-                    wall_seconds=result.wall_seconds,
-                )
-            )
-    return records
+    session = _session_for(config.scale, config.seed, graphs, list(config.datasets), session)
+    plan = (
+        session.plan()
+        .datasets(config.datasets)
+        .partitioners(config.partitioners)
+        .granularities(config.num_partitions)
+        .algorithms(config.algorithm)
+        .backends(config.backend)
+        .iterations(config.num_iterations)
+        .landmarks(config.landmark_count, seed=config.seed + 7)
+        .cluster(config.cluster or paper_cluster())
+        .cost_parameters(config.cost_parameters)
+    )
+    return list(plan.run())
 
 
 @dataclass(frozen=True)
@@ -193,16 +199,26 @@ def run_infrastructure_study(
     seed: int = 0,
     num_iterations: int = 10,
     graph: Optional[Graph] = None,
+    session: Optional[Session] = None,
 ) -> List[InfrastructureResult]:
     """Reproduce the Section 4 infrastructure experiment.
 
     Configuration (ii) is the 1 Gbps / HDD baseline, configuration (iii)
     upgrades the network to 40 Gbps, configuration (iv) additionally moves
-    shuffle storage to local SSDs.
+    shuffle storage to local SSDs.  The placement is resolved through the
+    session cache, so a shared session reuses it across studies.
     """
-    if graph is None:
-        graph = load_dataset(dataset, scale=scale, seed=seed)
-    pgraph = PartitionedGraph.partition(graph, partitioner, num_partitions)
+    if session is None:
+        session = Session(scale=scale, seed=seed)
+    if graph is not None:
+        session.adopt_graph(dataset, graph)
+    if (session.scale != scale or session.seed != seed) and not session.is_registered(dataset):
+        raise AnalysisError(
+            f"session (scale={session.scale}, seed={session.seed}) does not match "
+            f"the requested scale={scale}, seed={seed}, and dataset {dataset!r} is "
+            f"not registered on it; pass matching values or register the graph"
+        )
+    pgraph = session.partitioned(dataset, partitioner, num_partitions)
 
     configurations = [
         ("config-ii (1 Gbps, HDD)", paper_cluster(network_gbps=1.0, storage="hdd")),

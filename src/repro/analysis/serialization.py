@@ -74,6 +74,8 @@ def record_to_dict(record: RunRecord) -> Dict[str, object]:
         "algorithm": record.algorithm,
         "simulated_seconds": record.simulated_seconds,
         "num_supersteps": record.num_supersteps,
+        "backend": record.backend,
+        "wall_seconds": record.wall_seconds,
         "metrics": metrics_to_dict(record.metrics),
     }
 
@@ -93,6 +95,10 @@ def record_from_dict(payload: Dict[str, object]) -> RunRecord:
         metrics=metrics_from_dict(payload["metrics"]),
         simulated_seconds=float(payload["simulated_seconds"]),
         num_supersteps=int(payload["num_supersteps"]),
+        # Provenance fields postdate the original payload format; archives
+        # written before them load with the RunRecord defaults.
+        backend=str(payload.get("backend", "reference")),
+        wall_seconds=float(payload.get("wall_seconds", 0.0)),
     )
 
 

@@ -13,14 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..algorithms.registry import run_algorithm
 from ..core.graph import Graph
 from ..engine.cluster import ClusterConfig
 from ..engine.cost_model import CostParameters
-from ..engine.partitioned_graph import PartitionedGraph
 from ..errors import AnalysisError
 from ..metrics.partition_metrics import PartitioningMetrics
-from ..partitioning.registry import PAPER_PARTITIONER_NAMES, canonical_partitioner_name
+from ..partitioning.registry import PAPER_PARTITIONER_NAMES
+from ..session import Session
 
 __all__ = ["GranularityPoint", "GranularitySweep", "sweep_granularity"]
 
@@ -82,47 +81,53 @@ class GranularitySweep:
 def sweep_granularity(
     graph: Graph,
     partition_counts: Sequence[int],
-    partitioners: Sequence[str] = None,
+    partitioners: Optional[Sequence[str]] = None,
     algorithm: Optional[str] = None,
     num_iterations: int = 5,
     cluster: Optional[ClusterConfig] = None,
     cost_parameters: Optional[CostParameters] = None,
+    session: Optional[Session] = None,
 ) -> GranularitySweep:
     """Sweep the number of partitions for one dataset.
 
     When ``algorithm`` is given (``"PR"``, ``"CC"``, ``"TR"`` or ``"SSSP"``)
     every point also records the simulated runtime of that algorithm;
     otherwise only the partitioning metrics are collected (much cheaper).
+
+    A thin wrapper over the :mod:`repro.session` planner: pass a shared
+    ``session`` and the sweep reuses placements other studies already
+    built (and vice versa).
     """
     if not partition_counts:
         raise AnalysisError("partition_counts must not be empty")
     if any(n < 1 for n in partition_counts):
         raise AnalysisError("partition counts must be >= 1")
-    names = [
-        canonical_partitioner_name(name)
-        for name in (partitioners or PAPER_PARTITIONER_NAMES)
-    ]
+    dataset = graph.name or "graph"
+    if session is None:
+        session = Session()
+    session.adopt_graph(dataset, graph)
 
-    sweep = GranularitySweep(dataset=graph.name or "graph", algorithm=algorithm)
-    for num_partitions in partition_counts:
-        for name in names:
-            pgraph = PartitionedGraph.partition(graph, name, num_partitions)
-            seconds = None
-            if algorithm is not None:
-                result = run_algorithm(
-                    algorithm,
-                    pgraph,
-                    num_iterations=num_iterations,
-                    cluster=cluster,
-                    cost_parameters=cost_parameters,
-                )
-                seconds = result.simulated_seconds
-            sweep.points.append(
-                GranularityPoint(
-                    partitioner=name,
-                    num_partitions=num_partitions,
-                    metrics=pgraph.metrics,
-                    simulated_seconds=seconds,
-                )
+    plan = (
+        session.plan()
+        .datasets(dataset)
+        .partitioners(partitioners or PAPER_PARTITIONER_NAMES)
+        .granularities(partition_counts)
+        .cluster(cluster)
+        .cost_parameters(cost_parameters)
+    )
+    if algorithm is not None:
+        # No explicit landmark choice: SSSP keeps run_algorithm's default
+        # single landmark, as the pre-planner sweep did.
+        plan.algorithms(algorithm).iterations(num_iterations)
+
+    sweep = GranularitySweep(dataset=dataset, algorithm=algorithm)
+    for record in plan.run():
+        sweep.points.append(
+            GranularityPoint(
+                partitioner=record.partitioner,
+                num_partitions=record.num_partitions,
+                metrics=record.metrics,
+                simulated_seconds=None if algorithm is None else record.simulated_seconds,
             )
+        )
     return sweep

@@ -1,11 +1,18 @@
 """Command-line interface for the reproduction.
 
-Provides four sub-commands mirroring the evaluation workflow::
+Provides five sub-commands mirroring the evaluation workflow::
 
     python -m repro.cli characterize                 # Table 1
     python -m repro.cli metrics --partitions 128     # Table 2 / 3
     python -m repro.cli run --algorithm PR --partitions 128
+    python -m repro.cli sweep --algorithms PR CC --partitions 128 256
     python -m repro.cli advise --dataset orkut --algorithm PR
+
+``sweep`` is the grid front-end of the :mod:`repro.session` planner: it
+covers multi-algorithm x multi-granularity grids with one shared
+partition cache, supports ``--workers N`` for threaded execution and
+``--dry-run`` to print the planned cells and cache-hit estimate without
+executing anything.
 
 All sub-commands accept ``--scale`` to shrink or grow the synthetic
 datasets and ``--seed`` for reproducibility; both global flags are valid
@@ -30,12 +37,13 @@ from .analysis.experiments import (
 )
 from .analysis.results import best_partitioner_per_dataset, records_to_rows
 from .backends import available_backends, get_backend
-from .datasets.catalog import PAPER_DATASET_NAMES, load_dataset
+from .datasets.catalog import PAPER_DATASET_NAMES, get_spec, load_dataset
 from .datasets.characterization import build_table1, format_table1
 from .engine.partitioned_graph import PartitionedGraph
 from .errors import PartitioningError, ReproError
 from .metrics.report import format_metrics_table, format_table
 from .partitioning.registry import canonical_partitioner_name
+from .session import Session
 
 __all__ = ["main", "build_parser"]
 
@@ -135,12 +143,62 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="strategy names, case-insensitive (default: the paper's six)",
     )
-    run_parser.add_argument("--iterations", type=int, default=10)
+    # _positive_int (not bare int): --iterations 0 or negative would
+    # otherwise silently produce empty or nonsense runs.
+    run_parser.add_argument("--iterations", type=_positive_int, default=10)
     run_parser.add_argument(
         "--backend",
         default="reference",
         choices=available_backends(),
         help="execution backend (reference = cost-model simulator)",
+    )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="run a multi-algorithm x multi-granularity grid with one partition cache",
+        parents=[global_flags],
+    )
+    sweep_parser.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["PR"],
+        type=str.upper,
+        choices=["PR", "CC", "TR", "SSSP"],
+        help="algorithms to execute per placement (default: PR)",
+    )
+    sweep_parser.add_argument(
+        "--partitions",
+        nargs="+",
+        type=_positive_int,
+        default=[128, 256],
+        help="granularities to sweep (default: the paper's 128 and 256)",
+    )
+    sweep_parser.add_argument("--datasets", nargs="*", default=None)
+    sweep_parser.add_argument(
+        "--partitioners",
+        nargs="+",
+        type=_partitioner_name,
+        default=None,
+        help="strategy names, case-insensitive (default: the paper's six)",
+    )
+    sweep_parser.add_argument("--iterations", type=_positive_int, default=10)
+    sweep_parser.add_argument(
+        "--backends",
+        nargs="+",
+        default=["reference"],
+        choices=available_backends(),
+        help="execution backends to cover (default: reference)",
+    )
+    sweep_parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="thread-pool size for cell execution (default: 1)",
+    )
+    sweep_parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the planned cells and cache-hit estimate without executing",
     )
 
     advise_parser = subparsers.add_parser(
@@ -220,6 +278,67 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+#: SSSP landmarks per dataset in ``repro sweep`` — the paper's count, and
+#: the same default ``run`` uses via ``ExperimentConfig.landmark_count``,
+#: so the two front-ends report identical numbers for identical cells.
+SWEEP_LANDMARK_COUNT = 5
+
+
+def _build_sweep_plan(args: argparse.Namespace):
+    """The (session, plan) pair behind ``repro sweep``."""
+    datasets = list(args.datasets or PAPER_DATASET_NAMES)
+    # Resolve names against the catalog up front so a typo fails loudly
+    # even under --dry-run (which otherwise never touches the catalog).
+    for name in datasets:
+        get_spec(name)
+    session = Session(scale=args.scale, seed=args.seed)
+    plan = (
+        session.plan()
+        .datasets(datasets)
+        .granularities(args.partitions)
+        .algorithms(args.algorithms)
+        .backends(args.backends)
+        .iterations(args.iterations)
+        .landmarks(SWEEP_LANDMARK_COUNT, seed=args.seed + 7)
+    )
+    if args.partitioners:
+        plan.partitioners(args.partitioners)
+    return session, plan
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    session, plan = _build_sweep_plan(args)
+    preview = plan.preview()
+    if args.dry_run:
+        print(format_table([cell.as_row() for cell in preview.cells]))
+        print()
+        print(
+            f"Planned {preview.num_cells} cells; {preview.unique_partitions} unique "
+            f"(dataset, partitioner, partitions) triples -> "
+            f"{preview.partition_builds} partition builds, "
+            f"{preview.expected_cache_hits} partition-cache hits."
+        )
+        return 0
+    results = plan.run(workers=args.workers)
+    print(format_table(results.to_rows()))
+    print()
+    stats = session.stats
+    print(
+        f"Partition cache: {stats.partition_builds} builds, "
+        f"{stats.partition_hits} hits ({preview.num_cells} cells, "
+        f"workers={args.workers})."
+    )
+    # Only the reference simulator produces comparable simulated times.
+    for algorithm, group in results.filter(backend="reference").group_by("algorithm").items():
+        for partitions, slice_ in group.group_by("num_partitions").items():
+            best = {
+                dataset: subset.best().partitioner
+                for dataset, subset in slice_.group_by("dataset").items()
+            }
+            print(f"Best partitioner per dataset [{algorithm} @ {partitions}]: {best}")
+    return 0
+
+
 def _cmd_advise(args: argparse.Namespace) -> int:
     graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     if args.partitions:
@@ -263,6 +382,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "characterize": _cmd_characterize,
         "metrics": _cmd_metrics,
         "run": _cmd_run,
+        "sweep": _cmd_sweep,
         "advise": _cmd_advise,
     }
     try:

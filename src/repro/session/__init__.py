@@ -1,0 +1,31 @@
+"""Unified experiment sessions: caching, declarative grids, result sets.
+
+This package is the front door of the experiment layer:
+
+* :class:`Session` — memoized dataset loads and a partitioned-graph cache
+  keyed by ``(dataset, partitioner, num_partitions, scale, seed)``;
+* :class:`ExperimentPlan` — the fluent grid builder behind
+  ``session.plan()``, expanding to explicit :class:`PlannedRun` cells and
+  executing them (optionally on a thread pool);
+* :class:`ResultSet` — the queryable, serialisable collection of
+  :class:`~repro.analysis.results.RunRecord` a plan returns.
+
+The legacy harness entry points (``run_algorithm_study``,
+``run_partitioning_study``, ``run_infrastructure_study``,
+``sweep_granularity``, ``recommend_empirically``) are thin wrappers over
+this package; see :mod:`repro.analysis`.
+"""
+
+from .session import CacheStats, Session
+from .resultset import ResultSet
+from .plan import METRICS_ONLY, ExperimentPlan, PlannedRun, PlanPreview
+
+__all__ = [
+    "CacheStats",
+    "ExperimentPlan",
+    "METRICS_ONLY",
+    "PlanPreview",
+    "PlannedRun",
+    "ResultSet",
+    "Session",
+]

@@ -1,0 +1,378 @@
+"""Declarative experiment grids: the fluent planner behind the harness.
+
+An :class:`ExperimentPlan` describes a grid of runs the way the paper's
+evaluation is structured — datasets x partitioners x granularities x
+algorithms x backends — and expands it into explicit, inspectable
+:class:`PlannedRun` cells::
+
+    session = Session(scale=0.35, seed=17)
+    results = (
+        session.plan()
+        .datasets("youtube", "pokec")
+        .partitioners("2D", "DC")
+        .granularities(128, 256)
+        .algorithms("PR", "CC")
+        .run(workers=4)
+    )
+
+Cells execute against the session's partition cache, so each ``(dataset,
+partitioner, num_partitions)`` triple is partitioned exactly once no
+matter how many algorithm/backend cells consume it.  ``run(workers=N)``
+executes cells on a thread pool — safe because both the simulator's
+array-native supersteps and the vectorized kernels only read the shared
+:class:`~repro.engine.partitioned_graph.PartitionedGraph` — and always
+returns records in cell order, so parallel runs are record-identical to
+serial ones.
+
+A plan with no ``algorithms(...)`` call is *metrics-only*: each cell
+just materialises the placement and its Section 3.1 metrics (the Tables
+2-3 workload), recorded with ``algorithm == METRICS_ONLY`` and zero
+simulated time.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..algorithms.registry import canonical_algorithm_name, run_algorithm
+from ..backends import get_backend
+from ..engine.cluster import ClusterConfig
+from ..engine.cost_model import CostParameters
+from ..errors import AnalysisError, EngineError
+from ..partitioning.registry import PAPER_PARTITIONER_NAMES, canonical_partitioner_name
+from .resultset import ResultSet
+from .session import Session, _KeyedCache
+
+__all__ = ["METRICS_ONLY", "PlannedRun", "PlanPreview", "ExperimentPlan"]
+
+#: ``RunRecord.algorithm`` marker of metrics-only cells (no execution).
+METRICS_ONLY = "METRICS"
+
+
+@dataclass(frozen=True)
+class PlannedRun:
+    """One fully-resolved cell of an experiment grid."""
+
+    dataset: str
+    partitioner: str
+    num_partitions: int
+    algorithm: Optional[str]  # None = metrics-only (no algorithm execution)
+    backend: str
+    num_iterations: int
+    scale: float
+    seed: int
+
+    @property
+    def partition_key(self) -> Tuple[str, str, int, float, int]:
+        """The session cache key this cell resolves its placement through."""
+        return (self.dataset, self.partitioner, self.num_partitions, self.scale, self.seed)
+
+    def as_row(self) -> dict:
+        """Flatten the cell for tabulation (``repro sweep --dry-run``)."""
+        return {
+            "dataset": self.dataset,
+            "partitioner": self.partitioner,
+            "partitions": self.num_partitions,
+            "algorithm": self.algorithm or METRICS_ONLY.lower(),
+            "backend": self.backend if self.algorithm else "-",
+            "iterations": self.num_iterations if self.algorithm else "-",
+        }
+
+
+@dataclass(frozen=True)
+class PlanPreview:
+    """What a plan would do: its cells and the partition-cache forecast."""
+
+    cells: Tuple[PlannedRun, ...]
+    unique_partitions: int
+    partition_builds: int
+    expected_cache_hits: int
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.cells)
+
+
+def _flatten(values: Sequence) -> List:
+    """Accept both varargs and a single iterable: f(a, b) == f([a, b])."""
+    if len(values) == 1 and isinstance(values[0], (list, tuple, set, frozenset)):
+        return list(values[0])
+    return list(values)
+
+
+class ExperimentPlan:
+    """Fluent builder for a grid of runs over one :class:`Session`.
+
+    Every setter validates eagerly and returns ``self``.  Defaults mirror
+    the paper's setup: all six partitioners, granularities 128 and 256,
+    the ``reference`` backend, 10 iterations — and *metrics-only* cells
+    until :meth:`algorithms` is called.
+    """
+
+    #: The paper's two granularities (configurations i and ii).
+    DEFAULT_GRANULARITIES = (128, 256)
+
+    def __init__(self, session: Session) -> None:
+        self._session = session
+        self._datasets: Optional[List[str]] = None
+        self._partitioners: List[str] = list(PAPER_PARTITIONER_NAMES)
+        self._granularities: List[int] = list(self.DEFAULT_GRANULARITIES)
+        self._algorithms: List[Optional[str]] = [None]
+        self._backends: List[str] = ["reference"]
+        self._num_iterations: int = 10
+        self._landmark_count: Optional[int] = None
+        self._landmark_seed: Optional[int] = None
+        self._cluster: Optional[ClusterConfig] = session.cluster
+        self._cost_parameters: Optional[CostParameters] = session.cost_parameters
+
+    # ------------------------------------------------------------------
+    # Grid axes
+    # ------------------------------------------------------------------
+    def datasets(self, *names: str) -> "ExperimentPlan":
+        """Datasets to cover (names resolved through the session's catalog)."""
+        resolved = _flatten(names)
+        if not resolved:
+            raise AnalysisError("datasets(...) requires at least one dataset name")
+        self._datasets = [str(name) for name in resolved]
+        return self
+
+    def partitioners(self, *names: str) -> "ExperimentPlan":
+        """Partitioning strategies, case-insensitive (default: the paper's six)."""
+        resolved = _flatten(names)
+        if not resolved:
+            raise AnalysisError("partitioners(...) requires at least one strategy name")
+        self._partitioners = [canonical_partitioner_name(name) for name in resolved]
+        return self
+
+    def granularities(self, *counts: int) -> "ExperimentPlan":
+        """Partition counts to sweep (default: the paper's 128 and 256)."""
+        resolved = _flatten(counts)
+        if not resolved:
+            raise AnalysisError("granularities(...) requires at least one partition count")
+        if any(int(count) < 1 for count in resolved):
+            raise AnalysisError("partition counts must be >= 1")
+        self._granularities = [int(count) for count in resolved]
+        return self
+
+    def algorithms(self, *names: str) -> "ExperimentPlan":
+        """Algorithms to execute per placement.
+
+        Calling with no arguments (or an explicit ``None``) makes the plan
+        *metrics-only*.  An empty iterable is rejected — a caller
+        forwarding a user-supplied list that happens to be empty should
+        fail loudly, not silently degrade to zero-timing metrics records.
+        """
+        if not names:
+            self._algorithms = [None]
+            return self
+        resolved = _flatten(names)
+        if resolved == [None]:
+            self._algorithms = [None]
+            return self
+        if not resolved:
+            raise AnalysisError(
+                "algorithms(...) requires at least one algorithm name; "
+                "call algorithms() with no arguments for a metrics-only plan"
+            )
+        try:
+            self._algorithms = [canonical_algorithm_name(name) for name in resolved]
+        except EngineError as error:
+            raise AnalysisError(str(error)) from error
+        return self
+
+    def backends(self, *names: str) -> "ExperimentPlan":
+        """Execution backends (default: the ``reference`` simulator)."""
+        resolved = _flatten(names)
+        if not resolved:
+            raise AnalysisError("backends(...) requires at least one backend name")
+        for name in resolved:
+            get_backend(name)  # validate eagerly; raises BackendError if unknown
+        self._backends = [str(name) for name in resolved]
+        return self
+
+    # ------------------------------------------------------------------
+    # Execution parameters
+    # ------------------------------------------------------------------
+    def iterations(self, count: int) -> "ExperimentPlan":
+        """Superstep budget per algorithm run (default 10, the paper's setting)."""
+        if int(count) < 1:
+            raise AnalysisError("num_iterations must be >= 1")
+        self._num_iterations = int(count)
+        return self
+
+    def landmarks(self, count: int, seed: Optional[int] = None) -> "ExperimentPlan":
+        """Pre-choose ``count`` SSSP landmarks per dataset (memoized on the session).
+
+        Without this call SSSP cells let :func:`run_algorithm` pick its own
+        default landmark.  ``seed`` defaults to ``session.seed + 7``.
+        """
+        if int(count) < 1:
+            raise AnalysisError("landmark count must be >= 1")
+        self._landmark_count = int(count)
+        self._landmark_seed = None if seed is None else int(seed)
+        return self
+
+    def cluster(self, cluster: Optional[ClusterConfig]) -> "ExperimentPlan":
+        """Simulated cluster for reference-backend cells (default: the session's)."""
+        self._cluster = cluster
+        return self
+
+    def cost_parameters(self, parameters: Optional[CostParameters]) -> "ExperimentPlan":
+        """Cost-model calibration for reference-backend cells."""
+        self._cost_parameters = parameters
+        return self
+
+    # ------------------------------------------------------------------
+    # Expansion
+    # ------------------------------------------------------------------
+    def cells(self) -> List[PlannedRun]:
+        """Expand the grid into explicit cells.
+
+        The order is deterministic and mirrors the legacy harness loops:
+        dataset-major, then granularity, then algorithm, then backend,
+        then partitioner — so single-axis plans reproduce the record
+        order of ``run_algorithm_study`` (dataset -> partitioner) and
+        ``sweep_granularity`` (granularity -> partitioner) exactly.
+        """
+        if self._datasets is None:
+            from ..datasets.catalog import PAPER_DATASET_NAMES
+
+            datasets = list(PAPER_DATASET_NAMES)
+        else:
+            datasets = self._datasets
+        return [
+            PlannedRun(
+                dataset=dataset,
+                partitioner=partitioner,
+                num_partitions=num_partitions,
+                algorithm=algorithm,
+                backend=backend,
+                num_iterations=self._num_iterations,
+                scale=self._session.scale,
+                seed=self._session.seed,
+            )
+            for dataset in datasets
+            for num_partitions in self._granularities
+            for algorithm in self._algorithms
+            for backend in self._backends
+            for partitioner in self._partitioners
+        ]
+
+    def preview(self) -> PlanPreview:
+        """The planned cells plus a partition-cache forecast (no execution)."""
+        cells = tuple(self.cells())
+        unique = {cell.partition_key for cell in cells}
+        builds = sum(
+            1
+            for dataset, partitioner, num_partitions, _, _ in unique
+            if not self._session.is_partitioned(dataset, partitioner, num_partitions)
+        )
+        return PlanPreview(
+            cells=cells,
+            unique_partitions=len(unique),
+            partition_builds=builds,
+            expected_cache_hits=len(cells) - builds,
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, workers: int = 1) -> ResultSet:
+        """Execute every cell and return a :class:`ResultSet` in cell order.
+
+        ``workers`` > 1 executes cells on a thread pool; the session's
+        per-key build locks keep each placement built exactly once and
+        results are re-assembled in cell order, so the records are
+        identical to a ``workers=1`` run (wall-clock timings aside).
+        """
+        if int(workers) < 1:
+            raise AnalysisError("workers must be >= 1")
+        cells = self.cells()
+        # Partition-oblivious backends (e.g. ``vectorized``) produce the
+        # same result for every placement of a dataset, so their cells
+        # share one execution per (dataset, algorithm, iterations).
+        oblivious_memo = _KeyedCache()
+
+        def execute(cell: PlannedRun):
+            return self._execute(cell, oblivious_memo)
+
+        if workers == 1 or len(cells) <= 1:
+            records = [execute(cell) for cell in cells]
+        else:
+            with ThreadPoolExecutor(max_workers=int(workers)) as pool:
+                records = list(pool.map(execute, cells))
+        return ResultSet(records)
+
+    def _execute(self, cell: PlannedRun, oblivious_memo: _KeyedCache):
+        from ..analysis.results import RunRecord
+
+        session = self._session
+        backend = None if cell.algorithm is None else get_backend(cell.backend)
+        # Partition-aware execution touches the placement's derived engine
+        # structures; materialise them under the session's per-key lock so
+        # concurrent cells share one build instead of racing the lazy
+        # initialisers.  Metrics-only and partition-oblivious cells skip it.
+        pgraph = session.partitioned(
+            cell.dataset,
+            cell.partitioner,
+            cell.num_partitions,
+            engine_ready=backend is not None and backend.uses_partitioning,
+        )
+        if cell.algorithm is None:
+            return RunRecord(
+                dataset=cell.dataset,
+                partitioner=cell.partitioner,
+                num_partitions=cell.num_partitions,
+                algorithm=METRICS_ONLY,
+                metrics=pgraph.metrics,
+                simulated_seconds=0.0,
+                num_supersteps=0,
+                backend="none",
+                wall_seconds=0.0,
+            )
+
+        landmarks = None
+        if cell.algorithm == "SSSP" and self._landmark_count is not None:
+            landmarks = session.landmarks(
+                cell.dataset, self._landmark_count, self._landmark_seed
+            )
+
+        def run_cell():
+            return run_algorithm(
+                cell.algorithm,
+                pgraph,
+                num_iterations=cell.num_iterations,
+                landmarks=landmarks,
+                cluster=self._cluster,
+                cost_parameters=self._cost_parameters,
+                backend=cell.backend,
+            )
+
+        if backend.uses_partitioning:
+            result = run_cell()
+        else:
+            memo_key = (cell.dataset, cell.algorithm, cell.backend, cell.num_iterations)
+            result = oblivious_memo.get(memo_key, run_cell)
+
+        return RunRecord(
+            dataset=cell.dataset,
+            partitioner=cell.partitioner,
+            num_partitions=cell.num_partitions,
+            algorithm=cell.algorithm,
+            metrics=pgraph.metrics,
+            simulated_seconds=result.simulated_seconds,
+            num_supersteps=result.num_supersteps,
+            backend=result.backend,
+            wall_seconds=result.wall_seconds,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        datasets = "paper" if self._datasets is None else len(self._datasets)
+        algorithms = [name or METRICS_ONLY.lower() for name in self._algorithms]
+        return (
+            f"ExperimentPlan(datasets={datasets}, partitioners={self._partitioners}, "
+            f"granularities={self._granularities}, algorithms={algorithms}, "
+            f"backends={self._backends})"
+        )

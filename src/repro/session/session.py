@@ -1,0 +1,352 @@
+"""Sessions: memoized dataset loads and partitioned-graph caching.
+
+The paper's evaluation is a *grid* — every partitioner x dataset x
+granularity x algorithm (Tables 2-3, Figures 3-6) — and most cells of
+that grid share the expensive work: generating the dataset analogue and
+partitioning it.  A :class:`Session` owns those shared artefacts:
+
+* dataset loads are memoized per ``(name, scale, seed)`` (pre-built
+  graphs can be registered with :meth:`Session.add_graph`);
+* partitioned graphs are memoized per ``(dataset, partitioner,
+  num_partitions, scale, seed)``, so a full figure-suite reproduction
+  partitions each triple exactly once no matter how many algorithms and
+  backends consume it;
+* SSSP landmark choices are memoized per ``(dataset, count, seed)``.
+
+Every cache uses per-key build locks, so a multi-threaded
+:meth:`ExperimentPlan.run` (see :mod:`repro.session.plan`) never builds
+the same placement twice and never blocks unrelated builds on each
+other.  :attr:`Session.stats` exposes hit/miss accounting for tests and
+``repro sweep --dry-run`` estimates.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional, TypeVar
+
+from ..algorithms.shortest_paths import choose_landmarks
+from ..core.graph import Graph
+from ..datasets.catalog import load_dataset
+from ..engine.cluster import ClusterConfig
+from ..engine.cost_model import CostParameters
+from ..engine.partitioned_graph import PartitionedGraph
+from ..errors import AnalysisError
+from ..partitioning.registry import canonical_partitioner_name
+
+__all__ = ["CacheStats", "Session"]
+
+T = TypeVar("T")
+
+
+class _KeyedCache:
+    """Thread-safe build-once memoization with per-key build locks.
+
+    ``get(key, build)`` returns the cached value or runs ``build`` under a
+    lock private to ``key``: concurrent requests for the same key build
+    once and share the result, while different keys build in parallel.
+    """
+
+    def __init__(self) -> None:
+        self._values: Dict[Hashable, object] = {}
+        self._locks: Dict[Hashable, threading.Lock] = {}
+        self._master = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable, build: Callable[[], T]) -> T:
+        with self._master:
+            if key in self._values:
+                self.hits += 1
+                return self._values[key]
+            lock = self._locks.setdefault(key, threading.Lock())
+        with lock:
+            with self._master:
+                if key in self._values:
+                    self.hits += 1
+                    return self._values[key]
+            value = build()
+            with self._master:
+                self._values[key] = value
+                self.misses += 1
+            return value
+
+    def count_hit(self) -> None:
+        """Record a hit served outside the cache (e.g. a registered graph)."""
+        with self._master:
+            self.hits += 1
+
+    def peek(self, key: Hashable):
+        """The cached value for ``key`` (or None), without touching the stats."""
+        with self._master:
+            return self._values.get(key)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._master:
+            return key in self._values
+
+    def __len__(self) -> int:
+        with self._master:
+            return len(self._values)
+
+    def evict(self, predicate: Callable[[Hashable], bool]) -> None:
+        """Drop every entry whose key matches ``predicate`` (stats are kept)."""
+        with self._master:
+            for key in [key for key in self._values if predicate(key)]:
+                del self._values[key]
+                self._locks.pop(key, None)
+
+    def clear(self) -> None:
+        with self._master:
+            self._values.clear()
+            self._locks.clear()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss accounting of a session's graph and partition caches.
+
+    A *miss* is a build: ``partition_misses`` counts how many placements
+    were actually computed, ``partition_hits`` how many requests were
+    served from the cache.  Registered pre-built graphs count as graph
+    hits (they are never loaded by the session).
+    """
+
+    graph_hits: int
+    graph_misses: int
+    partition_hits: int
+    partition_misses: int
+
+    @property
+    def partition_builds(self) -> int:
+        """Alias: the number of placements actually partitioned."""
+        return self.partition_misses
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "graph_hits": self.graph_hits,
+            "graph_misses": self.graph_misses,
+            "partition_hits": self.partition_hits,
+            "partition_misses": self.partition_misses,
+        }
+
+
+class Session:
+    """Shared state behind a grid of experiments.
+
+    ``scale`` and ``seed`` are the session's defaults for dataset
+    generation; ``cluster`` and ``cost_parameters`` are the default
+    simulation settings of plans opened with :meth:`plan`.  ``graphs``
+    registers pre-built graphs by name (the equivalent of the legacy
+    harness' ``graphs=`` argument).
+    """
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        seed: int = 0,
+        cluster: Optional[ClusterConfig] = None,
+        cost_parameters: Optional[CostParameters] = None,
+        graphs: Optional[Dict[str, Graph]] = None,
+    ) -> None:
+        if scale <= 0:
+            raise AnalysisError("scale must be positive")
+        self.scale = float(scale)
+        self.seed = int(seed)
+        self.cluster = cluster
+        self.cost_parameters = cost_parameters
+        self._registered: Dict[str, Graph] = {}
+        self._graphs = _KeyedCache()
+        self._partitions = _KeyedCache()
+        self._engine_ready = _KeyedCache()
+        self._landmarks = _KeyedCache()
+        if graphs:
+            for name, graph in graphs.items():
+                self.add_graph(name, graph)
+
+    # ------------------------------------------------------------------
+    # Graphs
+    # ------------------------------------------------------------------
+    def add_graph(self, name: str, graph: Graph) -> "Session":
+        """Register a pre-built graph under ``name`` (bypasses the catalog).
+
+        Re-registering the same graph object is a no-op; registering a
+        *different* graph under a name the session has already served
+        evicts every placement and landmark choice built from the old
+        graph, so the caches can never answer for the wrong graph.
+        """
+        if not isinstance(graph, Graph):
+            raise AnalysisError(
+                f"add_graph expects a Graph, got {type(graph).__name__}"
+            )
+        current = self.cached_graph(name)
+        if current is not None and current is not graph:
+            self._partitions.evict(lambda key: key[0] == name)
+            self._engine_ready.evict(lambda key: key[0] == name)
+            self._landmarks.evict(lambda key: key[0] == name)
+            self._graphs.evict(lambda key: key[0] == name)
+        self._registered[name] = graph
+        return self
+
+    def adopt_graph(self, name: str, graph: Graph) -> "Session":
+        """Register ``graph`` under ``name``, refusing to displace another graph.
+
+        The harness wrappers use this instead of :meth:`add_graph`: sharing
+        a session across studies must never *silently* swap the graph every
+        later study sees (and evict its placements).  Re-adopting the same
+        object is a no-op; a conflicting graph raises — replace it
+        explicitly with :meth:`add_graph` if that is really intended.
+        """
+        current = self.cached_graph(name)
+        if current is not None and current is not graph:
+            raise AnalysisError(
+                f"session already serves a different graph named {name!r}; use a "
+                f"fresh session, a distinct graph name, or replace it explicitly "
+                f"with add_graph"
+            )
+        return self.add_graph(name, graph)
+
+    def cached_graph(self, name: str) -> Optional[Graph]:
+        """The graph currently answering to ``name`` (or None): registered
+        graphs first, then previously catalog-loaded ones.  No stats impact."""
+        registered = self._registered.get(name)
+        if registered is not None:
+            return registered
+        return self._graphs.peek((name, self.scale, self.seed))
+
+    def is_registered(self, name: str) -> bool:
+        """Whether a pre-built graph was registered under ``name``.
+
+        Registered graphs are served as-is regardless of the session's
+        scale/seed; catalog loads are not (they follow the session's
+        generation parameters).
+        """
+        return name in self._registered
+
+    def graph(self, name: str) -> Graph:
+        """The graph for ``name``: registered, cached, or loaded and cached."""
+        registered = self._registered.get(name)
+        if registered is not None:
+            self._graphs.count_hit()
+            return registered
+        key = (name, self.scale, self.seed)
+        return self._graphs.get(
+            key, lambda: load_dataset(name, scale=self.scale, seed=self.seed)
+        )
+
+    # ------------------------------------------------------------------
+    # Partitioned graphs
+    # ------------------------------------------------------------------
+    def _partition_key(self, dataset: str, partitioner: str, num_partitions: int):
+        return (
+            dataset,
+            canonical_partitioner_name(partitioner),
+            int(num_partitions),
+            self.scale,
+            self.seed,
+        )
+
+    def partitioned(
+        self,
+        dataset: str,
+        partitioner: str,
+        num_partitions: int,
+        engine_ready: bool = False,
+    ) -> PartitionedGraph:
+        """The cached placement for ``(dataset, partitioner, num_partitions)``.
+
+        Builds (and caches) the placement on first request; the Section 3.1
+        metrics are computed inside the build lock so every consumer shares
+        one metrics object.  ``engine_ready=True`` additionally materialises
+        the engine-facing derived structures (edge partitions, routing
+        table, triplet arrays) under a per-key lock, so concurrent
+        algorithm cells share them instead of racing — and duplicating —
+        the lazy initialisers on the shared ``PartitionedGraph``.
+        Metrics-only consumers should leave it off: those structures are
+        the dominant memory cost of a placement.
+        """
+        if num_partitions < 1:
+            raise AnalysisError("num_partitions must be >= 1")
+        key = self._partition_key(dataset, partitioner, num_partitions)
+
+        def build() -> PartitionedGraph:
+            graph = self.graph(dataset)
+            pgraph = PartitionedGraph.partition(graph, key[1], num_partitions)
+            pgraph.metrics  # materialise under the build lock (shared by all cells)
+            return pgraph
+
+        pgraph = self._partitions.get(key, build)
+        if engine_ready:
+            self._engine_ready.get(key, lambda: self._materialize_engine_state(pgraph))
+        return pgraph
+
+    @staticmethod
+    def _materialize_engine_state(pgraph: PartitionedGraph) -> bool:
+        pgraph.partitions
+        pgraph.routing
+        pgraph.triplets()
+        return True
+
+    def is_partitioned(
+        self, dataset: str, partitioner: str, num_partitions: int
+    ) -> bool:
+        """Whether the placement is already cached (no stats impact)."""
+        return self._partition_key(dataset, partitioner, num_partitions) in self._partitions
+
+    # ------------------------------------------------------------------
+    # Landmarks (SSSP)
+    # ------------------------------------------------------------------
+    def landmarks(self, dataset: str, count: int, seed: Optional[int] = None) -> List[int]:
+        """Memoized deterministic SSSP landmark choice for ``dataset``.
+
+        ``seed`` defaults to ``session.seed + 7``, matching the legacy
+        ``run_algorithm_study`` convention.
+        """
+        chosen_seed = self.seed + 7 if seed is None else int(seed)
+        key = (dataset, int(count), chosen_seed)
+        return self._landmarks.get(
+            key, lambda: choose_landmarks(self.graph(dataset), count=count, seed=chosen_seed)
+        )
+
+    # ------------------------------------------------------------------
+    # Plans and accounting
+    # ------------------------------------------------------------------
+    def plan(self) -> "ExperimentPlan":
+        """Open a declarative :class:`ExperimentPlan` over this session."""
+        from .plan import ExperimentPlan
+
+        return ExperimentPlan(self)
+
+    @property
+    def stats(self) -> CacheStats:
+        """A snapshot of the session's cache accounting."""
+        return CacheStats(
+            graph_hits=self._graphs.hits,
+            graph_misses=self._graphs.misses,
+            partition_hits=self._partitions.hits,
+            partition_misses=self._partitions.misses,
+        )
+
+    @property
+    def num_cached_partitions(self) -> int:
+        """How many placements the session currently holds."""
+        return len(self._partitions)
+
+    def clear(self) -> None:
+        """Drop every cached graph, placement and landmark choice.
+
+        Registered graphs stay registered; hit/miss counters are kept (they
+        describe the session's history, not its current contents).
+        """
+        self._graphs.clear()
+        self._partitions.clear()
+        self._engine_ready.clear()
+        self._landmarks.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Session(scale={self.scale}, seed={self.seed}, "
+            f"graphs={len(self._graphs) + len(self._registered)}, "
+            f"partitions={len(self._partitions)})"
+        )

@@ -95,6 +95,54 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["advise", "--dataset", "orkut", "--partitions", "-4"])
 
+    def test_non_positive_iterations_rejected(self):
+        # --iterations 0 / negative would silently produce empty or
+        # nonsense runs; it must be rejected at parse time like --partitions.
+        for args in (
+            ["run", "--iterations", "0"],
+            ["run", "--iterations", "-3"],
+            ["sweep", "--iterations", "0"],
+        ):
+            with pytest.raises(SystemExit) as excinfo:
+                build_parser().parse_args(args)
+            assert excinfo.value.code == 2
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.command == "sweep"
+        assert args.algorithms == ["PR"]
+        assert args.partitions == [128, 256]
+        assert args.backends == ["reference"]
+        assert args.workers == 1
+        assert args.dry_run is False
+
+    def test_sweep_grid_arguments(self):
+        args = build_parser().parse_args(
+            [
+                "sweep",
+                "--algorithms", "pr", "cc",
+                "--partitions", "8", "16",
+                "--partitioners", "rvc", "2d",
+                "--workers", "4",
+                "--dry-run",
+            ]
+        )
+        assert args.algorithms == ["PR", "CC"]
+        assert args.partitions == [8, 16]
+        assert args.partitioners == ["RVC", "2D"]
+        assert args.workers == 4
+        assert args.dry_run is True
+
+    def test_sweep_rejects_bad_grid_values(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--algorithms", "BFS"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--partitions", "0"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--workers", "0"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--backends", "gpu"])
+
 
 class TestCommands:
     def test_characterize_prints_table(self, capsys):
@@ -214,6 +262,84 @@ class TestCommands:
         assert "vectorized" in output
         assert "wall-clock" in output
         assert "Correlation of metrics" not in output
+
+    def test_sweep_dry_run_prints_cells_without_executing(self, capsys):
+        exit_code = main(
+            [
+                "--scale", "0.05",
+                "sweep",
+                "--dry-run",
+                "--datasets", "youtube", "pokec",
+                "--partitioners", "2d", "dc",
+                "--partitions", "4", "8",
+                "--algorithms", "PR", "CC",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Planned 16 cells" in output
+        assert "8 partition builds" in output
+        assert "8 partition-cache hits" in output
+        assert "seconds" not in output  # no results table: nothing executed
+
+    def test_sweep_executes_grid_and_reports_cache(self, capsys):
+        exit_code = main(
+            [
+                "--scale", "0.05",
+                "sweep",
+                "--datasets", "youtube",
+                "--partitioners", "2d", "dc",
+                "--partitions", "4",
+                "--algorithms", "PR", "CC",
+                "--iterations", "2",
+                "--workers", "2",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        # 4 cells over 2 unique placements: the cache halves the partitioning.
+        assert "Partition cache: 2 builds, 2 hits (4 cells, workers=2)." in output
+        assert "Best partitioner per dataset [PR @ 4]" in output
+        assert "Best partitioner per dataset [CC @ 4]" in output
+
+    def test_sweep_unknown_dataset_reports_one_line_error(self, capsys):
+        exit_code = main(["--scale", "0.05", "sweep", "--datasets", "nosuch"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "nosuch" in captured.err
+        assert captured.err.count("\n") == 1
+
+    def test_sweep_dry_run_rejects_unknown_dataset(self, capsys):
+        # The dry run must not print a confident plan for a typo'd dataset.
+        exit_code = main(["--scale", "0.05", "sweep", "--dry-run", "--datasets", "yuotube"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "yuotube" in captured.err
+        assert "Planned" not in captured.out
+
+    def test_sweep_sssp_matches_run_landmark_setup(self, capsys):
+        # `sweep` and `run` must report identical simulated times for the
+        # same SSSP cell (both use the paper's 5-landmark configuration).
+        common = ["--scale", "0.05", "--seed", "3"]
+        assert main(common + [
+            "run", "--algorithm", "sssp", "--partitions", "4",
+            "--datasets", "youtube", "--partitioners", "2d", "dc",
+        ]) == 0
+        run_out = capsys.readouterr().out
+        assert main(common + [
+            "sweep", "--algorithms", "sssp", "--partitions", "4",
+            "--datasets", "youtube", "--partitioners", "2d", "dc",
+        ]) == 0
+        sweep_out = capsys.readouterr().out
+
+        def seconds_of(output):
+            lines = output.splitlines()
+            header = next(line for line in lines if line.startswith("dataset"))
+            column = header.split().index("seconds")
+            row = next(line for line in lines if line.startswith("youtube"))
+            return row.split()[column]
+
+        assert seconds_of(run_out) == seconds_of(sweep_out)
 
     def test_advise_heuristic_mode(self, capsys):
         exit_code = main(["--scale", "0.05", "advise", "--dataset", "orkut", "--algorithm", "PR"])

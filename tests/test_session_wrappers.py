@@ -1,0 +1,274 @@
+"""Wrapper-equivalence tests: the legacy harness vs the session planner.
+
+The legacy entry points (``run_algorithm_study``, ``run_partitioning_study``,
+``sweep_granularity``, ``recommend_empirically``) are now thin wrappers over
+:mod:`repro.session`.  These tests re-implement the *pre-redesign* loops
+verbatim and prove the wrappers return record-for-record identical results
+(measured wall-clock time aside, which is timing noise by construction).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.algorithms.registry import run_algorithm
+from repro.algorithms.shortest_paths import choose_landmarks
+from repro.analysis.advisor import recommend_empirically
+from repro.analysis.experiments import (
+    ExperimentConfig,
+    run_algorithm_study,
+    run_infrastructure_study,
+    run_partitioning_study,
+)
+from repro.analysis.results import RunRecord
+from repro.analysis.sweep import sweep_granularity
+from repro.datasets.catalog import load_dataset
+from repro.engine.cluster import paper_cluster
+from repro.engine.partitioned_graph import PartitionedGraph
+from repro.errors import AnalysisError
+from repro.metrics.partition_metrics import compute_metrics
+from repro.partitioning.registry import make_partitioner
+from repro.session import Session
+
+SCALE = 0.08
+SEED = 4
+
+
+def _strip_wall(record):
+    return dataclasses.replace(record, wall_seconds=0.0)
+
+
+def _legacy_algorithm_study(config, graphs):
+    """The pre-redesign run_algorithm_study loop, verbatim."""
+    cluster = config.cluster or paper_cluster()
+    records = []
+    for dataset_name in config.datasets:
+        graph = graphs[dataset_name]
+        landmarks = None
+        if config.algorithm.upper() == "SSSP":
+            landmarks = choose_landmarks(graph, count=config.landmark_count, seed=config.seed + 7)
+        for partitioner_name in config.partitioners:
+            pgraph = PartitionedGraph.partition(graph, partitioner_name, config.num_partitions)
+            result = run_algorithm(
+                config.algorithm,
+                pgraph,
+                num_iterations=config.num_iterations,
+                landmarks=landmarks,
+                cluster=cluster,
+                cost_parameters=config.cost_parameters,
+                backend=config.backend,
+            )
+            records.append(
+                RunRecord(
+                    dataset=dataset_name,
+                    partitioner=partitioner_name,
+                    num_partitions=config.num_partitions,
+                    algorithm=config.algorithm.upper(),
+                    metrics=pgraph.metrics,
+                    simulated_seconds=result.simulated_seconds,
+                    num_supersteps=result.num_supersteps,
+                    backend=result.backend,
+                    wall_seconds=result.wall_seconds,
+                )
+            )
+    return records
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return {name: load_dataset(name, scale=SCALE, seed=SEED) for name in ("youtube", "pokec")}
+
+
+class TestAlgorithmStudyEquivalence:
+    @pytest.mark.parametrize("algorithm", ["PR", "CC", "SSSP"])
+    def test_wrapper_matches_legacy_loop(self, graphs, algorithm):
+        config = ExperimentConfig(
+            algorithm=algorithm,
+            num_partitions=6,
+            datasets=list(graphs),
+            partitioners=["RVC", "2D", "DC"],
+            scale=SCALE,
+            seed=SEED,
+            num_iterations=3,
+            landmark_count=2,
+        )
+        legacy = [_strip_wall(r) for r in _legacy_algorithm_study(config, graphs)]
+        wrapped = [_strip_wall(r) for r in run_algorithm_study(config, graphs=graphs)]
+        assert wrapped == legacy
+
+    def test_shared_session_reuses_placements_across_studies(self, graphs):
+        session = Session(scale=SCALE, seed=SEED, graphs=graphs)
+        base = dict(
+            num_partitions=6,
+            datasets=list(graphs),
+            partitioners=["RVC", "2D"],
+            scale=SCALE,
+            seed=SEED,
+            num_iterations=2,
+        )
+        run_algorithm_study(ExperimentConfig(algorithm="PR", **base), session=session)
+        builds_after_first = session.stats.partition_misses
+        assert builds_after_first == 2 * 2
+        run_algorithm_study(ExperimentConfig(algorithm="CC", **base), session=session)
+        assert session.stats.partition_misses == builds_after_first  # all cache hits
+
+    def test_missing_supplied_graph_still_rejected(self, graphs):
+        config = ExperimentConfig(algorithm="PR", datasets=["youtube", "nosuch"], num_partitions=4)
+        with pytest.raises(AnalysisError):
+            run_algorithm_study(config, graphs={"youtube": graphs["youtube"]})
+
+    def test_mismatched_session_scale_rejected_for_catalog_loads(self):
+        # A shared session must not silently load datasets at the wrong
+        # scale/seed when the config asks for different values.
+        session = Session(scale=0.2, seed=0)
+        config = ExperimentConfig(
+            algorithm="PR", num_partitions=4, datasets=["youtube"], scale=SCALE, seed=SEED
+        )
+        with pytest.raises(AnalysisError, match="does not match"):
+            run_algorithm_study(config, session=session)
+
+    def test_mismatched_session_scale_allowed_for_registered_graphs(self, graphs):
+        # Registered graphs are served as-is regardless of scale/seed (the
+        # legacy graphs= contract), so the mismatch guard must not fire.
+        session = Session(scale=0.2, seed=0, graphs=graphs)
+        config = ExperimentConfig(
+            algorithm="PR",
+            num_partitions=4,
+            datasets=list(graphs),
+            partitioners=["RVC"],
+            scale=SCALE,
+            seed=SEED,
+            num_iterations=2,
+        )
+        records = run_algorithm_study(config, session=session)
+        assert len(records) == 2
+
+
+class TestPartitioningStudyEquivalence:
+    def test_duplicate_dataset_names_keep_one_row_per_partitioner(self, graphs):
+        # The legacy loop assigned table[name] per dataset iteration, so a
+        # duplicated name ended with one row per partitioner — not doubled.
+        table = run_partitioning_study(
+            4, datasets=["youtube", "youtube"], partitioners=["RVC", "2D"], graphs=graphs
+        )
+        assert list(table) == ["youtube"]
+        assert [m.strategy for m in table["youtube"]] == ["RVC", "2D"]
+
+    def test_wrapper_matches_legacy_loop(self, graphs):
+        partitioners = ["RVC", "1D", "2D", "DC"]
+        legacy = {
+            name: [
+                compute_metrics(make_partitioner(p).assign(graph, 6)) for p in partitioners
+            ]
+            for name, graph in graphs.items()
+        }
+        wrapped = run_partitioning_study(
+            6, datasets=list(graphs), partitioners=partitioners, graphs=graphs
+        )
+        assert wrapped == legacy
+
+
+class TestSweepEquivalence:
+    def _legacy_sweep(self, graph, counts, partitioners, algorithm, num_iterations):
+        """The pre-redesign sweep_granularity loop, verbatim."""
+        points = []
+        for num_partitions in counts:
+            for name in partitioners:
+                pgraph = PartitionedGraph.partition(graph, name, num_partitions)
+                seconds = None
+                if algorithm is not None:
+                    result = run_algorithm(
+                        algorithm, pgraph, num_iterations=num_iterations
+                    )
+                    seconds = result.simulated_seconds
+                points.append((name, num_partitions, pgraph.metrics, seconds))
+        return points
+
+    @pytest.mark.parametrize("algorithm", [None, "PR"])
+    def test_wrapper_matches_legacy_loop(self, small_social_graph, algorithm):
+        counts = [4, 8]
+        partitioners = ["RVC", "2D", "DC"]
+        legacy = self._legacy_sweep(small_social_graph, counts, partitioners, algorithm, 2)
+        sweep = sweep_granularity(
+            small_social_graph,
+            counts,
+            partitioners=partitioners,
+            algorithm=algorithm,
+            num_iterations=2,
+        )
+        observed = [
+            (p.partitioner, p.num_partitions, p.metrics, p.simulated_seconds)
+            for p in sweep.points
+        ]
+        assert observed == legacy
+
+    def test_sweep_refuses_a_conflicting_graph_on_a_shared_session(
+        self, small_social_graph, small_road_graph, monkeypatch
+    ):
+        # Two different graphs answering to the same name on one session
+        # would silently cross-contaminate the cache; the wrapper must raise.
+        session = Session()
+        monkeypatch.setattr(small_road_graph, "name", small_social_graph.name)
+        sweep_granularity(small_social_graph, [4], partitioners=["RVC"], session=session)
+        with pytest.raises(AnalysisError, match="different graph"):
+            sweep_granularity(small_road_graph, [4], partitioners=["RVC"], session=session)
+
+    def test_sweep_reuses_a_shared_session(self, small_social_graph):
+        session = Session()
+        sweep_granularity(
+            small_social_graph, [4, 8], partitioners=["RVC", "2D"], session=session
+        )
+        assert session.stats.partition_misses == 4
+        # Second sweep over a subset: nothing new to partition.
+        sweep_granularity(
+            small_social_graph, [4], partitioners=["RVC"], session=session
+        )
+        assert session.stats.partition_misses == 4
+
+
+class TestAdvisorEquivalence:
+    def test_empirical_recommendation_matches_direct_measurement(self, small_social_graph):
+        candidates = ["RVC", "2D", "DC"]
+        recommendation = recommend_empirically(
+            small_social_graph, "PR", num_partitions=8, candidates=candidates
+        )
+        legacy_scores = {
+            name: compute_metrics(
+                make_partitioner(name).assign(small_social_graph, 8)
+            ).value("comm_cost")
+            for name in candidates
+        }
+        assert recommendation.candidates == legacy_scores
+        assert recommendation.partitioner == min(
+            legacy_scores, key=lambda name: (legacy_scores[name], candidates.index(name))
+        )
+
+    def test_advisor_shares_the_session_cache(self, small_social_graph):
+        session = Session()
+        recommend_empirically(
+            small_social_graph, "PR", num_partitions=8,
+            candidates=["RVC", "2D"], session=session,
+        )
+        assert session.stats.partition_misses == 2
+        # The study that follows the advice reuses the advisor's placements.
+        sweep_granularity(
+            small_social_graph, [8], partitioners=["RVC", "2D"],
+            algorithm="PR", num_iterations=2, session=session,
+        )
+        assert session.stats.partition_misses == 2
+
+
+class TestInfrastructureStudySession:
+    def test_shared_session_reuses_the_placement(self, graphs):
+        session = Session(scale=SCALE, seed=SEED, graphs=graphs)
+        first = run_infrastructure_study(
+            dataset="youtube", partitioner="2D", num_partitions=8,
+            num_iterations=2, session=session,
+        )
+        assert session.stats.partition_misses == 1
+        second = run_infrastructure_study(
+            dataset="youtube", partitioner="2D", num_partitions=8,
+            num_iterations=2, session=session,
+        )
+        assert session.stats.partition_misses == 1
+        assert [r.simulated_seconds for r in first] == [r.simulated_seconds for r in second]
