@@ -97,17 +97,20 @@ from .partitioning import (
     paper_partitioners,
 )
 from .session import (
+    ArtifactStore,
     CacheStats,
     ExperimentPlan,
     PlannedRun,
     ResultSet,
     Session,
+    StoreInfo,
 )
 
 __all__ = [
     "__version__",
     "AlgorithmResult",
     "AnalysisError",
+    "ArtifactStore",
     "Backend",
     "BackendError",
     "CSRGraph",
@@ -138,6 +141,7 @@ __all__ = [
     "ResultSet",
     "RunRecord",
     "Session",
+    "StoreInfo",
     "VertexMembership",
     "available_backends",
     "canonical_partitioner_name",

@@ -34,16 +34,26 @@ def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
 
 
 def _ranks(values: Sequence[float]) -> np.ndarray:
-    order = np.argsort(np.asarray(values, dtype=np.float64), kind="mergesort")
-    ranks = np.empty(len(values), dtype=np.float64)
-    ranks[order] = np.arange(1, len(values) + 1, dtype=np.float64)
-    # Average ranks of ties.
+    """1-based average ranks with ties sharing their group's mean rank.
+
+    Fully vectorised: one sort plus one ``np.unique`` inverse mapping.
+    Each tie group's ranks are consecutive integers, so their sum (and
+    hence the bincount-based mean) is exact in float64 — value-identical
+    to averaging each group with a per-value mask.  NaNs are never a tie
+    group (``NaN != NaN``): they keep their individual sort ranks, as a
+    mask-based ``array == value`` loop would leave them.
+    """
     array = np.asarray(values, dtype=np.float64)
-    for value in np.unique(array):
-        mask = array == value
-        if mask.sum() > 1:
-            ranks[mask] = ranks[mask].mean()
-    return ranks
+    order = np.argsort(array, kind="mergesort")
+    ranks = np.empty(array.size, dtype=np.float64)
+    ranks[order] = np.arange(1, array.size + 1, dtype=np.float64)
+    _, inverse, counts = np.unique(array, return_inverse=True, return_counts=True)
+    rank_sums = np.bincount(inverse, weights=ranks)
+    averaged = rank_sums[inverse] / counts[inverse]
+    nan_mask = np.isnan(array)
+    if nan_mask.any():  # np.unique collapses NaNs into one group; undo that
+        averaged[nan_mask] = ranks[nan_mask]
+    return averaged
 
 
 def spearman(xs: Sequence[float], ys: Sequence[float]) -> float:

@@ -10,9 +10,9 @@ calibrations, and post-processed without re-running anything.
 from __future__ import annotations
 
 import json
-import os
-from typing import Dict, Iterable, List, Union
+from typing import Dict, Iterable, List
 
+from ..core.io import PathLike, atomic_write_bytes
 from ..engine.cost_model import SimulationReport
 from ..errors import AnalysisError
 from ..metrics.partition_metrics import PartitioningMetrics
@@ -27,8 +27,6 @@ __all__ = [
     "save_records",
     "load_records",
 ]
-
-PathLike = Union[str, "os.PathLike[str]"]
 
 _METRIC_FIELDS = [
     "strategy",
@@ -137,11 +135,10 @@ def report_to_dict(report: SimulationReport) -> Dict[str, object]:
 
 
 def save_records(records: Iterable[RunRecord], path: PathLike, indent: int = 2) -> None:
-    """Write run records to a JSON file."""
+    """Write run records to a JSON file (atomically: write-then-rename)."""
     payload = [record_to_dict(record) for record in records]
     try:
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=indent)
+        atomic_write_bytes(path, json.dumps(payload, indent=indent).encode("utf-8"))
     except OSError as exc:
         raise AnalysisError(f"cannot write results to {path}: {exc}") from exc
 

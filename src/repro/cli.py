@@ -1,18 +1,27 @@
 """Command-line interface for the reproduction.
 
-Provides five sub-commands mirroring the evaluation workflow::
+Provides six sub-commands mirroring the evaluation workflow::
 
     python -m repro.cli characterize                 # Table 1
     python -m repro.cli metrics --partitions 128     # Table 2 / 3
     python -m repro.cli run --algorithm PR --partitions 128
     python -m repro.cli sweep --algorithms PR CC --partitions 128 256
     python -m repro.cli advise --dataset orkut --algorithm PR
+    python -m repro.cli cache info --cache-dir .repro-cache
 
 ``sweep`` is the grid front-end of the :mod:`repro.session` planner: it
 covers multi-algorithm x multi-granularity grids with one shared
-partition cache, supports ``--workers N`` for threaded execution and
+partition cache, supports ``--workers N`` with ``--executor
+thread|process`` (threads share one in-memory session; processes ship
+cells to worker interpreters for true multi-core execution), and
 ``--dry-run`` to print the planned cells and cache-hit estimate without
-executing anything.
+executing anything.  ``--cache-dir DIR`` attaches a persistent
+:class:`~repro.session.store.ArtifactStore`: placements, landmark
+choices and completed cells survive the process, so repeating — or
+resuming an interrupted — sweep re-runs only what is missing
+(``--resume`` makes that expectation explicit and fails without a cache
+directory).  ``cache`` inspects (``info``) or empties (``clear``) such a
+store.
 
 All sub-commands accept ``--scale`` to shrink or grow the synthetic
 datasets and ``--seed`` for reproducibility; both global flags are valid
@@ -40,10 +49,10 @@ from .backends import available_backends, get_backend
 from .datasets.catalog import PAPER_DATASET_NAMES, get_spec, load_dataset
 from .datasets.characterization import build_table1, format_table1
 from .engine.partitioned_graph import PartitionedGraph
-from .errors import PartitioningError, ReproError
+from .errors import AnalysisError, PartitioningError, ReproError
 from .metrics.report import format_metrics_table, format_table
 from .partitioning.registry import canonical_partitioner_name
-from .session import Session
+from .session import ArtifactStore, Session
 
 __all__ = ["main", "build_parser"]
 
@@ -189,16 +198,54 @@ def build_parser() -> argparse.ArgumentParser:
         choices=available_backends(),
         help="execution backends to cover (default: reference)",
     )
+    # _positive_int (not bare int): a zero/negative pool size would
+    # otherwise reach ThreadPoolExecutor as a crash or a silent no-op.
     sweep_parser.add_argument(
         "--workers",
         type=_positive_int,
         default=1,
-        help="thread-pool size for cell execution (default: 1)",
+        help="worker-pool size for cell execution (default: 1)",
+    )
+    sweep_parser.add_argument(
+        "--executor",
+        choices=["thread", "process"],
+        default="thread",
+        help="pool flavour behind --workers: 'thread' shares one in-memory "
+        "session, 'process' runs cells on separate cores (default: thread)",
     )
     sweep_parser.add_argument(
         "--dry-run",
         action="store_true",
         help="print the planned cells and cache-hit estimate without executing",
+    )
+    sweep_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist placements, landmarks and completed cells to this "
+        "directory and reuse them across invocations",
+    )
+    sweep_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells whose records are already in --cache-dir "
+        "(requires --cache-dir; reuse is on by default when a cache "
+        "directory is given — this flag makes it explicit)",
+    )
+
+    cache_parser = subparsers.add_parser(
+        "cache",
+        help="inspect or clear a persistent artifact store",
+        parents=[global_flags],
+    )
+    cache_parser.add_argument("action", choices=["info", "clear"])
+    cache_parser.add_argument(
+        "--cache-dir", required=True, help="artifact store directory"
+    )
+    cache_parser.add_argument(
+        "--kind",
+        choices=["placements", "landmarks", "records"],
+        default=None,
+        help="restrict 'clear' to one artifact kind (default: all)",
     )
 
     advise_parser = subparsers.add_parser(
@@ -286,12 +333,14 @@ SWEEP_LANDMARK_COUNT = 5
 
 def _build_sweep_plan(args: argparse.Namespace):
     """The (session, plan) pair behind ``repro sweep``."""
+    if args.resume and not args.cache_dir:
+        raise AnalysisError("--resume requires --cache-dir (there is no store to resume from)")
     datasets = list(args.datasets or PAPER_DATASET_NAMES)
     # Resolve names against the catalog up front so a typo fails loudly
     # even under --dry-run (which otherwise never touches the catalog).
     for name in datasets:
         get_spec(name)
-    session = Session(scale=args.scale, seed=args.seed)
+    session = Session(scale=args.scale, seed=args.seed, store=args.cache_dir)
     plan = (
         session.plan()
         .datasets(datasets)
@@ -319,15 +368,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"{preview.expected_cache_hits} partition-cache hits."
         )
         return 0
-    results = plan.run(workers=args.workers)
+    results = plan.run(
+        workers=args.workers,
+        executor=args.executor,
+        resume=True if args.resume else None,
+    )
     print(format_table(results.to_rows()))
     print()
     stats = session.stats
     print(
         f"Partition cache: {stats.partition_builds} builds, "
         f"{stats.partition_hits} hits ({preview.num_cells} cells, "
-        f"workers={args.workers})."
+        f"workers={args.workers}, executor={args.executor})."
     )
+    if args.cache_dir:
+        print(
+            f"Artifact store: {stats.disk_hits} disk hits "
+            f"({stats.disk_record_hits} records, {stats.disk_partition_hits} placements, "
+            f"{stats.disk_landmark_hits} landmarks), {stats.disk_misses} disk misses; "
+            f"{stats.disk_record_hits} of {preview.num_cells} cells resumed from "
+            f"{args.cache_dir}."
+        )
     # Only the reference simulator produces comparable simulated times.
     for algorithm, group in results.filter(backend="reference").group_by("algorithm").items():
         for partitions, slice_ in group.group_by("num_partitions").items():
@@ -336,6 +397,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 for dataset, subset in slice_.group_by("dataset").items()
             }
             print(f"Best partitioner per dataset [{algorithm} @ {partitions}]: {best}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    store = ArtifactStore(args.cache_dir)
+    if args.action == "info":
+        info = store.info()
+        print(f"Artifact store at {info.root}:")
+        print(f"  placements: {info.placements}")
+        print(f"  landmarks:  {info.landmarks}")
+        print(f"  records:    {info.records}")
+        print(f"  total:      {info.total_artifacts} artifacts, {info.total_bytes:,} bytes")
+        return 0
+    removed = store.clear(kind=args.kind)
+    scope = args.kind or "all kinds"
+    print(f"Removed {removed} artifacts ({scope}) from {store.root}.")
     return 0
 
 
@@ -384,6 +461,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "sweep": _cmd_sweep,
         "advise": _cmd_advise,
+        "cache": _cmd_cache,
     }
     try:
         return handlers[args.command](args)

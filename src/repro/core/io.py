@@ -9,17 +9,50 @@ analogues shipped in :mod:`repro.datasets`.
 from __future__ import annotations
 
 import os
-from typing import Union
+from typing import Optional, Union
 
 from ..errors import GraphIOError
 from .graph import Graph
 
-__all__ = ["read_edge_list", "write_edge_list"]
+__all__ = ["atomic_write_bytes", "read_edge_list", "write_edge_list"]
 
 PathLike = Union[str, "os.PathLike[str]"]
 
 
-def read_edge_list(path: PathLike, delimiter: str = None, name: str = "") -> Graph:
+def atomic_write_bytes(path: PathLike, data: bytes, make_parents: bool = False) -> None:
+    """Write ``data`` to ``path`` via a temporary sibling and ``os.replace``.
+
+    Readers never observe a half-written file: they see either the old
+    contents or the new ones, even across concurrent writers and killed
+    processes.  ``make_parents`` creates missing parent directories (the
+    artifact store's layout) — by default a missing directory is an
+    :class:`OSError`, like a plain ``open`` for write.  The ``.part``
+    suffix keeps in-flight files out of directory listings that filter by
+    extension.  Raises plain :class:`OSError` — callers wrap it in their
+    layer's error type.
+    """
+    target = os.fspath(path)
+    directory = os.path.dirname(target) or "."
+    if make_parents:
+        os.makedirs(directory, exist_ok=True)
+    # Not mkstemp: its private 0600 mode would stick to the published file.
+    # O_CREAT with mode 0o666 lets the kernel apply the process umask at
+    # create time, giving the same permissions a plain open() would have.
+    tmp_path = os.path.join(directory, f".tmp-{os.getpid()}-{os.urandom(6).hex()}.part")
+    fd = os.open(tmp_path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o666)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp_path, target)
+    except BaseException:
+        try:
+            os.remove(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def read_edge_list(path: PathLike, delimiter: Optional[str] = None, name: str = "") -> Graph:
     """Read a SNAP-style edge list file into a :class:`Graph`.
 
     Lines starting with ``#`` or ``%`` are treated as comments.  Each other

@@ -13,7 +13,7 @@ granularities is what the model is calibrated to preserve.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -128,7 +128,7 @@ class SimulationReport:
 class CostModel:
     """Converts per-superstep counters into simulated seconds."""
 
-    def __init__(self, cluster: ClusterConfig, parameters: CostParameters = None) -> None:
+    def __init__(self, cluster: ClusterConfig, parameters: Optional[CostParameters] = None) -> None:
         self.cluster = cluster
         self.parameters = parameters or CostParameters()
 

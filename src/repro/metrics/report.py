@@ -2,14 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from .partition_metrics import PartitioningMetrics
 
 __all__ = ["format_table", "metrics_table_rows", "format_metrics_table"]
 
 
-def format_table(rows: Sequence[Dict[str, object]], columns: Sequence[str] = None) -> str:
+def format_table(rows: Sequence[Dict[str, object]], columns: Optional[Sequence[str]] = None) -> str:
     """Render a list of dict rows as a fixed-width text table."""
     if not rows:
         return "(empty table)"

@@ -36,7 +36,7 @@ class HybridCut(PartitionStrategy):
 
     name = "Hybrid"
 
-    def __init__(self, threshold: int = None) -> None:
+    def __init__(self, threshold: Optional[int] = None) -> None:
         if threshold is not None and threshold < 1:
             raise ValueError("threshold must be >= 1 when given")
         self.threshold = threshold

@@ -8,7 +8,11 @@ This package is the front door of the experiment layer:
   ``session.plan()``, expanding to explicit :class:`PlannedRun` cells and
   executing them (optionally on a thread pool);
 * :class:`ResultSet` — the queryable, serialisable collection of
-  :class:`~repro.analysis.results.RunRecord` a plan returns.
+  :class:`~repro.analysis.results.RunRecord` a plan returns;
+* :class:`ArtifactStore` — the persistent on-disk L2 behind
+  ``Session(store=...)``: placements, landmark choices and completed run
+  records survive the process, making sweeps warm-startable and
+  resumable (``repro sweep --cache-dir/--resume``).
 
 The legacy harness entry points (``run_algorithm_study``,
 ``run_partitioning_study``, ``run_infrastructure_study``,
@@ -16,16 +20,21 @@ The legacy harness entry points (``run_algorithm_study``,
 this package; see :mod:`repro.analysis`.
 """
 
+from .store import STORE_FORMAT_VERSION, ArtifactStore, DiskStats, StoreInfo
 from .session import CacheStats, Session
 from .resultset import ResultSet
 from .plan import METRICS_ONLY, ExperimentPlan, PlannedRun, PlanPreview
 
 __all__ = [
+    "ArtifactStore",
     "CacheStats",
+    "DiskStats",
     "ExperimentPlan",
     "METRICS_ONLY",
     "PlanPreview",
     "PlannedRun",
     "ResultSet",
+    "STORE_FORMAT_VERSION",
     "Session",
+    "StoreInfo",
 ]

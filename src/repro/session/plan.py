@@ -20,9 +20,14 @@ partitioner, num_partitions)`` triple is partitioned exactly once no
 matter how many algorithm/backend cells consume it.  ``run(workers=N)``
 executes cells on a thread pool — safe because both the simulator's
 array-native supersteps and the vectorized kernels only read the shared
-:class:`~repro.engine.partitioned_graph.PartitionedGraph` — and always
-returns records in cell order, so parallel runs are record-identical to
-serial ones.
+:class:`~repro.engine.partitioned_graph.PartitionedGraph` — or, with
+``executor="process"``, on separate worker interpreters that rebuild
+placements through the session's shared artifact store.  Either way
+records come back in cell order, so parallel runs are record-identical
+to serial ones.  When the session has a store attached, completed cells
+are persisted as they finish and already-stored cells are skipped
+(unless ``resume=False``), which is what makes interrupted grids
+resumable.
 
 A plan with no ``algorithms(...)`` call is *metrics-only*: each cell
 just materialises the placement and its Section 3.1 metrics (the Tables
@@ -32,9 +37,12 @@ simulated time.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import dataclasses
+import json
+import numbers
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..algorithms.registry import canonical_algorithm_name, run_algorithm
 from ..backends import get_backend
@@ -44,11 +52,44 @@ from ..errors import AnalysisError, EngineError
 from ..partitioning.registry import PAPER_PARTITIONER_NAMES, canonical_partitioner_name
 from .resultset import ResultSet
 from .session import Session, _KeyedCache
+from .store import ArtifactStore
 
 __all__ = ["METRICS_ONLY", "PlannedRun", "PlanPreview", "ExperimentPlan"]
 
 #: ``RunRecord.algorithm`` marker of metrics-only cells (no execution).
 METRICS_ONLY = "METRICS"
+
+#: Supported ``ExperimentPlan.run`` executors.
+EXECUTORS = ("thread", "process")
+
+
+def _validate_workers(workers) -> int:
+    """``workers`` as a plain int; non-integers (e.g. ``2.5``) are rejected
+    instead of being silently truncated by ``int(...)``."""
+    if isinstance(workers, bool) or not isinstance(workers, numbers.Integral):
+        raise AnalysisError(f"workers must be an integer >= 1, got {workers!r}")
+    if workers < 1:
+        raise AnalysisError("workers must be >= 1")
+    return int(workers)
+
+
+def _simulation_fingerprint(
+    cluster: Optional[ClusterConfig], cost_parameters: Optional[CostParameters]
+) -> Optional[str]:
+    """A canonical string identifying a non-default simulation setup, so
+    stored records never answer for runs under a different calibration."""
+    if cluster is None and cost_parameters is None:
+        return None
+    return json.dumps(
+        {
+            "cluster": None if cluster is None else dataclasses.asdict(cluster),
+            "cost_parameters": (
+                None if cost_parameters is None else dataclasses.asdict(cost_parameters)
+            ),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
 
 
 @dataclass(frozen=True)
@@ -279,31 +320,166 @@ class ExperimentPlan:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self, workers: int = 1) -> ResultSet:
+    def run(
+        self,
+        workers: int = 1,
+        executor: str = "thread",
+        resume: Optional[bool] = None,
+    ) -> ResultSet:
         """Execute every cell and return a :class:`ResultSet` in cell order.
 
-        ``workers`` > 1 executes cells on a thread pool; the session's
-        per-key build locks keep each placement built exactly once and
-        results are re-assembled in cell order, so the records are
-        identical to a ``workers=1`` run (wall-clock timings aside).
+        ``workers`` > 1 executes cells concurrently — on a thread pool by
+        default, or on a :class:`~concurrent.futures.ProcessPoolExecutor`
+        with ``executor="process"`` (cells ship to workers as picklable
+        specs; each worker process rebuilds placements through the shared
+        artifact store when one is attached).  Results are always
+        re-assembled in cell order, so the records are identical to a
+        ``workers=1`` run (measured wall-clock timings aside).
+
+        When the session has an artifact store, every completed cell's
+        record is persisted as it finishes, and — unless ``resume=False``
+        — cells whose records are already stored are *not* re-executed:
+        an interrupted grid resumes from where it stopped, and repeating
+        a finished sweep re-runs nothing.  ``resume=True`` makes that
+        expectation explicit (it raises without a store).
         """
-        if int(workers) < 1:
-            raise AnalysisError("workers must be >= 1")
+        workers = _validate_workers(workers)
+        if executor not in EXECUTORS:
+            raise AnalysisError(
+                f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+            )
+        session = self._session
+        if resume is None:
+            reuse = session.store is not None
+        else:
+            reuse = bool(resume)
+            if reuse and session.store is None:
+                raise AnalysisError(
+                    "resume=True requires a session with an artifact store attached "
+                    "(Session(store=...))"
+                )
         cells = self.cells()
+        if executor == "process":
+            # Validate up front, against the *whole* grid: whether a cell is
+            # rejected must not depend on how many cells the store already
+            # holds or on the worker count.
+            for cell in cells:
+                if session.is_registered(cell.dataset):
+                    raise AnalysisError(
+                        f"executor='process' cannot reach the registered graph "
+                        f"{cell.dataset!r} from worker processes; use "
+                        f"executor='thread' or catalog datasets"
+                    )
+        records: List[Optional[object]] = [None] * len(cells)
+        pending: List[Tuple[int, PlannedRun]] = []
+        for index, cell in enumerate(cells):
+            store = session._store_for(cell.dataset)
+            if reuse and store is not None:
+                stored = store.load_record(self._record_key(cell))
+                session._count_disk("record", hit=stored is not None)
+                if stored is not None:
+                    records[index] = stored
+                    continue
+            pending.append((index, cell))
+
+        if pending:
+            only = [cell for _, cell in pending]
+            # workers == 1 always runs serially in-process (a one-worker
+            # pool would only add IPC overhead); with workers > 1 the
+            # process executor is used even for a single pending cell, so
+            # what "executor='process'" reports is what actually happened.
+            if executor == "process" and workers > 1:
+                computed = self._run_in_processes(only, workers)
+            else:
+                computed = self._run_in_threads(only, workers)
+            for (index, _), record in zip(pending, computed):
+                records[index] = record
+        return ResultSet(records)
+
+    def _run_in_threads(self, cells: Sequence[PlannedRun], workers: int) -> List[object]:
+        """Serial / thread-pool execution against this process's session."""
         # Partition-oblivious backends (e.g. ``vectorized``) produce the
         # same result for every placement of a dataset, so their cells
         # share one execution per (dataset, algorithm, iterations).
         oblivious_memo = _KeyedCache()
+        session = self._session
 
         def execute(cell: PlannedRun):
-            return self._execute(cell, oblivious_memo)
+            record = self._execute(cell, oblivious_memo)
+            store = session._store_for(cell.dataset)
+            if store is not None:
+                # Persist per cell (not per grid) so a killed process can
+                # resume from its last completed cell.
+                store.save_record(self._record_key(cell), record)
+            return record
 
         if workers == 1 or len(cells) <= 1:
-            records = [execute(cell) for cell in cells]
-        else:
-            with ThreadPoolExecutor(max_workers=int(workers)) as pool:
-                records = list(pool.map(execute, cells))
-        return ResultSet(records)
+            return [execute(cell) for cell in cells]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(execute, cells))
+
+    def _run_in_processes(self, cells: Sequence[PlannedRun], workers: int) -> List[object]:
+        """Multi-core execution: ship cells to worker processes as specs.
+
+        Each worker rebuilds a session from the spec — sharing placements,
+        landmarks and records through the artifact store when the parent
+        session has one — and executes cells with the exact serial code
+        path, so the returned records are identical to an in-process run.
+        """
+        session = self._session
+        context = _WorkerContext(
+            scale=session.scale,
+            seed=session.seed,
+            store_root=None if session.store is None else session.store.root,
+            cluster=self._cluster,
+            cost_parameters=self._cost_parameters,
+            landmark_count=self._landmark_count,
+            landmark_seed=self._landmark_seed,
+        )
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(
+                pool.map(_execute_cell_in_worker, [(context, cell) for cell in cells])
+            )
+        records = []
+        for record, stats_delta in outcomes:
+            # Surface the workers' cache activity in the parent session, so
+            # `session.stats` (and the CLI's cache report) stays honest for
+            # process-parallel runs instead of reading all zeros.
+            session.absorb_stats(stats_delta)
+            records.append(record)
+        return records
+
+    def _record_key(self, cell: PlannedRun) -> Dict[str, object]:
+        """The artifact-store key identifying ``cell``'s completed record.
+
+        Includes everything the record's values depend on: the grid axes,
+        the effective SSSP landmark choice, and a fingerprint of any
+        non-default cluster / cost-model calibration.
+        """
+        landmarks = None
+        if cell.algorithm == "SSSP" and self._landmark_count is not None:
+            seed = (
+                self._session.seed + 7
+                if self._landmark_seed is None
+                else self._landmark_seed
+            )
+            landmarks = (self._landmark_count, seed)
+        return ArtifactStore.record_key(
+            dataset=cell.dataset,
+            partitioner=cell.partitioner,
+            num_partitions=cell.num_partitions,
+            algorithm=cell.algorithm or METRICS_ONLY,
+            backend=cell.backend if cell.algorithm else "none",
+            num_iterations=cell.num_iterations if cell.algorithm else 0,
+            scale=cell.scale,
+            seed=cell.seed,
+            landmarks=landmarks,
+            simulation=(
+                None
+                if cell.algorithm is None
+                else _simulation_fingerprint(self._cluster, self._cost_parameters)
+            ),
+        )
 
     def _execute(self, cell: PlannedRun, oblivious_memo: _KeyedCache):
         from ..analysis.results import RunRecord
@@ -376,3 +552,67 @@ class ExperimentPlan:
             f"granularities={self._granularities}, algorithms={algorithms}, "
             f"backends={self._backends})"
         )
+
+
+# ----------------------------------------------------------------------
+# Process-pool worker side
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _WorkerContext:
+    """Everything a worker process needs to rebuild the plan's execution
+    environment (all fields are picklable and hashable)."""
+
+    scale: float
+    seed: int
+    store_root: Optional[str]
+    cluster: Optional[ClusterConfig]
+    cost_parameters: Optional[CostParameters]
+    landmark_count: Optional[int]
+    landmark_seed: Optional[int]
+
+
+#: Per-process cache: one rebuilt (plan, oblivious-memo) pair per context,
+#: so a worker executing many cells shares graph loads and placements
+#: instead of rebuilding them per cell.
+_WORKER_STATE: Dict[_WorkerContext, Tuple["ExperimentPlan", _KeyedCache]] = {}
+
+
+def _worker_state(context: _WorkerContext) -> Tuple["ExperimentPlan", _KeyedCache]:
+    state = _WORKER_STATE.get(context)
+    if state is None:
+        session = Session(
+            scale=context.scale,
+            seed=context.seed,
+            cluster=context.cluster,
+            cost_parameters=context.cost_parameters,
+            store=context.store_root,
+        )
+        plan = ExperimentPlan(session)
+        plan._cluster = context.cluster
+        plan._cost_parameters = context.cost_parameters
+        plan._landmark_count = context.landmark_count
+        plan._landmark_seed = context.landmark_seed
+        state = (plan, _KeyedCache())
+        _WORKER_STATE[context] = state
+    return state
+
+
+def _execute_cell_in_worker(payload: Tuple[_WorkerContext, PlannedRun]):
+    """Top-level (hence picklable) entry point of process-pool workers.
+
+    Runs the exact serial execution path against a per-process session;
+    when a store is shared, the completed record is persisted *from the
+    worker*, so even cells whose results never reach a killed parent
+    remain resumable.  Returns ``(record, stats_delta)`` — the cell's
+    cache accounting, for the parent session to absorb.
+    """
+    context, cell = payload
+    plan, oblivious_memo = _worker_state(context)
+    before = plan._session.stats.as_dict()
+    record = plan._execute(cell, oblivious_memo)
+    store = plan._session._store_for(cell.dataset)
+    if store is not None:
+        store.save_record(plan._record_key(cell), record)
+    after = plan._session.stats.as_dict()
+    delta = {key: after[key] - before[key] for key in after}
+    return record, delta

@@ -24,16 +24,19 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Callable, Dict, Hashable, List, Optional, TypeVar
+from typing import Callable, Dict, Hashable, List, Optional, TypeVar, Union
 
 from ..algorithms.shortest_paths import choose_landmarks
 from ..core.graph import Graph
+from ..core.io import PathLike
 from ..datasets.catalog import load_dataset
 from ..engine.cluster import ClusterConfig
 from ..engine.cost_model import CostParameters
 from ..engine.partitioned_graph import PartitionedGraph
-from ..errors import AnalysisError
+from ..errors import AnalysisError, ReproError
+from ..partitioning.base import EdgePartitionAssignment
 from ..partitioning.registry import canonical_partitioner_name
+from .store import ArtifactStore, as_store
 
 __all__ = ["CacheStats", "Session"]
 
@@ -107,21 +110,48 @@ class _KeyedCache:
 class CacheStats:
     """Hit/miss accounting of a session's graph and partition caches.
 
-    A *miss* is a build: ``partition_misses`` counts how many placements
-    were actually computed, ``partition_hits`` how many requests were
-    served from the cache.  Registered pre-built graphs count as graph
-    hits (they are never loaded by the session).
+    ``partition_hits`` / ``partition_misses`` describe the in-memory L1:
+    a miss means the placement was not held in this process.  When the
+    session has an on-disk :class:`~repro.session.store.ArtifactStore`
+    attached, an L1 miss first consults the disk L2 — ``disk_partition_hits``
+    counts placements rehydrated from disk, ``disk_partition_misses``
+    placements that genuinely had to be partitioned (and were then
+    persisted).  The same convention covers landmark choices and the
+    completed-cell records an :class:`ExperimentPlan` resumes from.
+    Registered pre-built graphs count as graph hits (they are never
+    loaded by the session and never touch the disk store).
     """
 
     graph_hits: int
     graph_misses: int
     partition_hits: int
     partition_misses: int
+    disk_partition_hits: int = 0
+    disk_partition_misses: int = 0
+    disk_landmark_hits: int = 0
+    disk_landmark_misses: int = 0
+    disk_record_hits: int = 0
+    disk_record_misses: int = 0
 
     @property
     def partition_builds(self) -> int:
-        """Alias: the number of placements actually partitioned."""
-        return self.partition_misses
+        """The number of placements actually partitioned (not rehydrated):
+        L1 misses that the disk L2 could not answer either."""
+        return self.partition_misses - self.disk_partition_hits
+
+    @property
+    def disk_hits(self) -> int:
+        """Artifacts of any kind served from the disk store."""
+        return self.disk_partition_hits + self.disk_landmark_hits + self.disk_record_hits
+
+    @property
+    def disk_misses(self) -> int:
+        """Disk lookups of any kind that had to rebuild (or first-run builds)."""
+        return (
+            self.disk_partition_misses
+            + self.disk_landmark_misses
+            + self.disk_record_misses
+        )
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -129,6 +159,12 @@ class CacheStats:
             "graph_misses": self.graph_misses,
             "partition_hits": self.partition_hits,
             "partition_misses": self.partition_misses,
+            "disk_partition_hits": self.disk_partition_hits,
+            "disk_partition_misses": self.disk_partition_misses,
+            "disk_landmark_hits": self.disk_landmark_hits,
+            "disk_landmark_misses": self.disk_landmark_misses,
+            "disk_record_hits": self.disk_record_hits,
+            "disk_record_misses": self.disk_record_misses,
         }
 
 
@@ -139,7 +175,13 @@ class Session:
     generation; ``cluster`` and ``cost_parameters`` are the default
     simulation settings of plans opened with :meth:`plan`.  ``graphs``
     registers pre-built graphs by name (the equivalent of the legacy
-    harness' ``graphs=`` argument).
+    harness' ``graphs=`` argument).  ``store`` attaches a persistent
+    :class:`~repro.session.store.ArtifactStore` (or a directory path to
+    open one in): the in-memory caches become an L1 over that disk L2,
+    so placements, landmark choices and completed run records survive
+    the process.  Registered graphs never touch the store — their
+    content is not derivable from the cache key, so a later process
+    could be served the wrong placement.
     """
 
     def __init__(
@@ -149,6 +191,7 @@ class Session:
         cluster: Optional[ClusterConfig] = None,
         cost_parameters: Optional[CostParameters] = None,
         graphs: Optional[Dict[str, Graph]] = None,
+        store: Union[ArtifactStore, PathLike, None] = None,
     ) -> None:
         if scale <= 0:
             raise AnalysisError("scale must be positive")
@@ -156,14 +199,55 @@ class Session:
         self.seed = int(seed)
         self.cluster = cluster
         self.cost_parameters = cost_parameters
+        self.store = as_store(store)
         self._registered: Dict[str, Graph] = {}
         self._graphs = _KeyedCache()
         self._partitions = _KeyedCache()
         self._engine_ready = _KeyedCache()
         self._landmarks = _KeyedCache()
+        self._disk_lock = threading.Lock()
+        self._disk_counters: Dict[str, int] = {
+            "partition_hits": 0,
+            "partition_misses": 0,
+            "landmark_hits": 0,
+            "landmark_misses": 0,
+            "record_hits": 0,
+            "record_misses": 0,
+        }
+        self._absorbed: Dict[str, int] = {}
         if graphs:
             for name, graph in graphs.items():
                 self.add_graph(name, graph)
+
+    # ------------------------------------------------------------------
+    # Disk store plumbing
+    # ------------------------------------------------------------------
+    def _store_for(self, dataset: str) -> Optional[ArtifactStore]:
+        """The disk store, unless ``dataset`` is a registered graph (whose
+        content the cache key cannot identify)."""
+        if self.store is None or dataset in self._registered:
+            return None
+        return self.store
+
+    def _count_disk(self, counter: str, hit: bool) -> None:
+        """Session-level disk accounting (kept separate from the store's own
+        counters, which a shared store would aggregate across sessions)."""
+        key = f"{counter}_{'hits' if hit else 'misses'}"
+        with self._disk_lock:
+            self._disk_counters[key] += 1
+
+    def absorb_stats(self, delta: Dict[str, int]) -> None:
+        """Fold another session's ``CacheStats.as_dict()`` (or a delta of
+        two snapshots) into this session's accounting.
+
+        The process executor runs cells in worker sessions the parent
+        never observes directly; absorbing their per-cell deltas keeps
+        :attr:`stats` an honest fleet-wide picture — without it a
+        process-parallel sweep would always report zero builds.
+        """
+        with self._disk_lock:
+            for key, value in delta.items():
+                self._absorbed[key] = self._absorbed.get(key, 0) + int(value)
 
     # ------------------------------------------------------------------
     # Graphs
@@ -272,7 +356,23 @@ class Session:
 
         def build() -> PartitionedGraph:
             graph = self.graph(dataset)
-            pgraph = PartitionedGraph.partition(graph, key[1], num_partitions)
+            store = self._store_for(dataset)
+            pgraph = None
+            placement_key = None
+            if store is not None:
+                placement_key = ArtifactStore.placement_key(
+                    dataset, key[1], int(num_partitions), self.scale, self.seed
+                )
+                pgraph = self._rehydrate_placement(store, placement_key, graph)
+                self._count_disk("partition", hit=pgraph is not None)
+            if pgraph is None:
+                pgraph = PartitionedGraph.partition(graph, key[1], num_partitions)
+                if store is not None:
+                    store.save_placement(
+                        placement_key,
+                        pgraph.assignment.partition_of,
+                        pgraph.assignment.strategy_name,
+                    )
             pgraph.metrics  # materialise under the build lock (shared by all cells)
             return pgraph
 
@@ -280,6 +380,28 @@ class Session:
         if engine_ready:
             self._engine_ready.get(key, lambda: self._materialize_engine_state(pgraph))
         return pgraph
+
+    @staticmethod
+    def _rehydrate_placement(
+        store: ArtifactStore, placement_key: Dict[str, object], graph: Graph
+    ) -> Optional[PartitionedGraph]:
+        """A :class:`PartitionedGraph` rebuilt from a stored placement array,
+        or None when the artifact is absent, corrupt, or inconsistent with
+        the graph (wrong length / out-of-range ids degrade to a miss)."""
+        loaded = store.load_placement(placement_key)
+        if loaded is None:
+            return None
+        partition_of, strategy_name = loaded
+        try:
+            assignment = EdgePartitionAssignment(
+                graph=graph,
+                num_partitions=int(placement_key["num_partitions"]),
+                partition_of=partition_of,
+                strategy_name=strategy_name,
+            )
+        except ReproError:
+            return None
+        return PartitionedGraph(assignment)
 
     @staticmethod
     def _materialize_engine_state(pgraph: PartitionedGraph) -> bool:
@@ -305,9 +427,24 @@ class Session:
         """
         chosen_seed = self.seed + 7 if seed is None else int(seed)
         key = (dataset, int(count), chosen_seed)
-        return self._landmarks.get(
-            key, lambda: choose_landmarks(self.graph(dataset), count=count, seed=chosen_seed)
-        )
+
+        def build() -> List[int]:
+            store = self._store_for(dataset)
+            landmark_key = None
+            if store is not None:
+                landmark_key = ArtifactStore.landmark_key(
+                    dataset, int(count), chosen_seed, self.scale, self.seed
+                )
+                stored = store.load_landmarks(landmark_key)
+                self._count_disk("landmark", hit=stored is not None)
+                if stored is not None:
+                    return stored
+            chosen = choose_landmarks(self.graph(dataset), count=count, seed=chosen_seed)
+            if store is not None:
+                store.save_landmarks(landmark_key, chosen)
+            return chosen
+
+        return self._landmarks.get(key, build)
 
     # ------------------------------------------------------------------
     # Plans and accounting
@@ -320,12 +457,24 @@ class Session:
 
     @property
     def stats(self) -> CacheStats:
-        """A snapshot of the session's cache accounting."""
+        """A snapshot of the session's cache accounting (including any
+        worker-session activity absorbed via :meth:`absorb_stats`)."""
+        with self._disk_lock:
+            disk = dict(self._disk_counters)
+            absorbed = dict(self._absorbed)
         return CacheStats(
-            graph_hits=self._graphs.hits,
-            graph_misses=self._graphs.misses,
-            partition_hits=self._partitions.hits,
-            partition_misses=self._partitions.misses,
+            graph_hits=self._graphs.hits + absorbed.get("graph_hits", 0),
+            graph_misses=self._graphs.misses + absorbed.get("graph_misses", 0),
+            partition_hits=self._partitions.hits + absorbed.get("partition_hits", 0),
+            partition_misses=self._partitions.misses + absorbed.get("partition_misses", 0),
+            disk_partition_hits=disk["partition_hits"] + absorbed.get("disk_partition_hits", 0),
+            disk_partition_misses=disk["partition_misses"]
+            + absorbed.get("disk_partition_misses", 0),
+            disk_landmark_hits=disk["landmark_hits"] + absorbed.get("disk_landmark_hits", 0),
+            disk_landmark_misses=disk["landmark_misses"]
+            + absorbed.get("disk_landmark_misses", 0),
+            disk_record_hits=disk["record_hits"] + absorbed.get("disk_record_hits", 0),
+            disk_record_misses=disk["record_misses"] + absorbed.get("disk_record_misses", 0),
         )
 
     @property

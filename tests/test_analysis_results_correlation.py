@@ -1,8 +1,10 @@
 """Unit tests for run records, grouping helpers and correlation analysis."""
 
+import numpy as np
 import pytest
 
 from repro.analysis.correlation import (
+    _ranks,
     correlation_table,
     correlation_with_time,
     pearson,
@@ -67,6 +69,43 @@ class TestPearsonAndSpearman:
         xs = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6, 5.3]
         ys = [2.0, 7.0, 1.0, 8.0, 2.8, 1.8, 2.9]
         assert pearson(xs, ys) == pytest.approx(scipy_stats.pearsonr(xs, ys)[0])
+        assert spearman(xs, ys) == pytest.approx(scipy_stats.spearmanr(xs, ys)[0])
+
+    @staticmethod
+    def _ranks_reference(values):
+        """The seed per-unique-value tie-averaging loop (O(n*unique))."""
+        array = np.asarray(values, dtype=np.float64)
+        order = np.argsort(array, kind="mergesort")
+        ranks = np.empty(len(values), dtype=np.float64)
+        ranks[order] = np.arange(1, len(values) + 1, dtype=np.float64)
+        for value in np.unique(array):
+            mask = array == value
+            if mask.sum() > 1:
+                ranks[mask] = ranks[mask].mean()
+        return ranks
+
+    def test_vectorized_ranks_match_reference_loop_on_ties(self):
+        rng = np.random.default_rng(42)
+        cases = [
+            [1.0] * 9,  # every value tied
+            [3.0],  # singleton
+            [1, 1, 2, 2, 2, 3],  # mixed tie groups
+            [5, 4, 3, 2, 1],  # no ties, reversed
+            [-np.inf, 0.0, 0.0, np.inf, np.inf],  # ties at the extremes
+            [1.0, np.nan, np.nan, 2.0],  # NaNs are never a tie group
+            [np.nan, np.nan, np.nan],
+        ]
+        for _ in range(50):
+            n = int(rng.integers(2, 200))
+            pool = rng.normal(size=max(1, n // 4))  # few distinct values: tie-heavy
+            cases.append(rng.choice(pool, size=n))
+        for values in cases:
+            assert np.array_equal(_ranks(values), self._ranks_reference(values))
+
+    def test_spearman_with_heavy_ties_matches_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        xs = [1, 1, 2, 2, 2, 3, 3, 4]
+        ys = [2, 2, 2, 1, 5, 5, 7, 7]
         assert spearman(xs, ys) == pytest.approx(scipy_stats.spearmanr(xs, ys)[0])
 
     @pytest.mark.parametrize("func", [pearson, spearman])

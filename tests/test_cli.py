@@ -115,6 +115,38 @@ class TestParser:
         assert args.backends == ["reference"]
         assert args.workers == 1
         assert args.dry_run is False
+        assert args.executor == "thread"
+        assert args.cache_dir is None
+        assert args.resume is False
+
+    def test_sweep_cache_and_executor_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--cache-dir", "/tmp/c", "--resume", "--executor", "process"]
+        )
+        assert args.cache_dir == "/tmp/c"
+        assert args.resume is True
+        assert args.executor == "process"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--executor", "greenlet"])
+
+    def test_cache_subcommand_parsing(self):
+        args = build_parser().parse_args(["cache", "info", "--cache-dir", "/tmp/c"])
+        assert args.command == "cache"
+        assert args.action == "info"
+        assert args.cache_dir == "/tmp/c"
+        args = build_parser().parse_args(
+            ["cache", "clear", "--cache-dir", "/tmp/c", "--kind", "records"]
+        )
+        assert args.action == "clear"
+        assert args.kind == "records"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "info"])  # --cache-dir is required
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "prune", "--cache-dir", "/tmp/c"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["cache", "clear", "--cache-dir", "/tmp/c", "--kind", "everything"]
+            )
 
     def test_sweep_grid_arguments(self):
         args = build_parser().parse_args(
@@ -298,7 +330,8 @@ class TestCommands:
         output = capsys.readouterr().out
         assert exit_code == 0
         # 4 cells over 2 unique placements: the cache halves the partitioning.
-        assert "Partition cache: 2 builds, 2 hits (4 cells, workers=2)." in output
+        assert "Partition cache: 2 builds, 2 hits (4 cells, workers=2, executor=thread)." in output
+        assert "Artifact store" not in output  # no --cache-dir: nothing persisted
         assert "Best partitioner per dataset [PR @ 4]" in output
         assert "Best partitioner per dataset [CC @ 4]" in output
 
@@ -316,6 +349,85 @@ class TestCommands:
         assert exit_code == 2
         assert "yuotube" in captured.err
         assert "Planned" not in captured.out
+
+    def test_sweep_with_cache_dir_resumes_second_invocation(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        argv = [
+            "--scale", "0.05",
+            "sweep",
+            "--datasets", "youtube",
+            "--partitioners", "2d", "dc",
+            "--partitions", "4",
+            "--algorithms", "PR",
+            "--iterations", "2",
+            "--cache-dir", cache_dir,
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "Partition cache: 2 builds" in cold
+        assert "0 disk hits" in cold
+
+        # Second invocation: a fresh process-equivalent (new session) must
+        # re-run nothing — every cell resumes from the store.
+        assert main(argv + ["--resume"]) == 0
+        warm = capsys.readouterr().out
+        assert "Partition cache: 0 builds, 0 hits" in warm
+        assert "2 disk hits (2 records" in warm
+        assert "2 of 2 cells resumed" in warm
+        # The resumed table reports the same simulated seconds.
+        assert cold.splitlines()[2].split()[:8] == warm.splitlines()[2].split()[:8]
+
+    def test_sweep_resume_without_cache_dir_fails(self, capsys):
+        exit_code = main(["--scale", "0.05", "sweep", "--resume", "--datasets", "youtube"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "--cache-dir" in captured.err
+
+    def test_sweep_process_executor_smoke(self, capsys, tmp_path):
+        exit_code = main(
+            [
+                "--scale", "0.05",
+                "sweep",
+                "--datasets", "youtube",
+                "--partitioners", "2d", "dc",
+                "--partitions", "4",
+                "--algorithms", "PR",
+                "--iterations", "2",
+                "--workers", "2",
+                "--executor", "process",
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "executor=process" in output
+        assert "Best partitioner per dataset [PR @ 4]" in output
+
+    def test_cache_info_and_clear(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(
+            [
+                "--scale", "0.05",
+                "sweep",
+                "--datasets", "youtube",
+                "--partitioners", "2d",
+                "--partitions", "4",
+                "--algorithms", "PR",
+                "--iterations", "2",
+                "--cache-dir", cache_dir,
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+        info = capsys.readouterr().out
+        assert "placements: 1" in info
+        assert "records:    1" in info
+        assert main(["cache", "clear", "--cache-dir", cache_dir, "--kind", "records"]) == 0
+        assert "Removed 1 artifacts (records)" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "Removed 1 artifacts (all kinds)" in capsys.readouterr().out
+        assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+        assert "total:      0 artifacts" in capsys.readouterr().out
 
     def test_sweep_sssp_matches_run_landmark_setup(self, capsys):
         # `sweep` and `run` must report identical simulated times for the

@@ -254,6 +254,88 @@ class TestExperimentPlan:
         parallel = [_strip_wall(record) for record in run(4)]
         assert serial == parallel  # same records, same order
 
+    def test_run_rejects_non_integer_workers(self, session):
+        plan = session.plan().datasets("youtube").partitioners("2D").granularities(4)
+        with pytest.raises(AnalysisError, match="integer"):
+            plan.run(workers=2.5)
+        with pytest.raises(AnalysisError, match="integer"):
+            plan.run(workers="4")
+        with pytest.raises(AnalysisError, match="integer"):
+            plan.run(workers=True)  # bool would silently mean one worker
+
+    def test_run_rejects_unknown_executor(self, session):
+        plan = session.plan().datasets("youtube").partitioners("2D").granularities(4)
+        with pytest.raises(AnalysisError, match="executor"):
+            plan.run(executor="greenlet")
+
+    def test_process_run_matches_serial_run(self):
+        def run(**kwargs):
+            session = Session(scale=SCALE, seed=SEED)
+            return (
+                session.plan()
+                .datasets(DATASETS)
+                .partitioners("RVC", "2D")
+                .granularities(4)
+                .algorithms("PR", "CC", "SSSP")
+                .iterations(2)
+                .landmarks(2)
+                .run(**kwargs)
+            )
+
+        serial = [_strip_wall(record) for record in run()]
+        parallel = [_strip_wall(record) for record in run(workers=2, executor="process")]
+        assert serial == parallel  # same records, same order
+
+    def test_process_run_shares_placements_through_the_store(self, tmp_path):
+        session = Session(scale=SCALE, seed=SEED, store=tmp_path / "cache")
+        results = (
+            session.plan()
+            .datasets("youtube")
+            .partitioners("RVC", "2D")
+            .granularities(4)
+            .algorithms("PR", "CC")
+            .iterations(2)
+            .run(workers=2, executor="process")
+        )
+        assert len(results) == 4
+        # The parent session absorbed the workers' cache accounting: a cold
+        # process run must not read as "0 builds, 0 misses".
+        stats = session.stats
+        assert stats.partition_misses > 0
+        assert stats.partition_builds == stats.disk_partition_misses >= 2
+        # The workers persisted their artifacts into the shared store...
+        info = session.store.info()
+        assert info.placements == 2
+        assert info.records == 4
+        # ...so a fresh in-process rerun resumes entirely from disk.
+        resumed = Session(scale=SCALE, seed=SEED, store=tmp_path / "cache")
+        rerun = (
+            resumed.plan()
+            .datasets("youtube")
+            .partitioners("RVC", "2D")
+            .granularities(4)
+            .algorithms("PR", "CC")
+            .iterations(2)
+            .run()
+        )
+        assert resumed.stats.partition_builds == 0
+        assert resumed.stats.disk_record_hits == 4
+        assert list(rerun) == list(results)
+
+    def test_process_run_rejects_registered_graphs(self, small_social_graph):
+        session = Session(scale=SCALE, seed=SEED)
+        session.add_graph("custom", small_social_graph)
+        plan = (
+            session.plan().datasets("custom").partitioners("RVC", "2D").granularities(4)
+        )
+        with pytest.raises(AnalysisError, match="registered graph"):
+            plan.run(workers=2, executor="process")
+        # The rejection must not depend on grid size or worker count: a
+        # single-cell plan (which executes in-process anyway) still raises.
+        single = session.plan().datasets("custom").partitioners("2D").granularities(4)
+        with pytest.raises(AnalysisError, match="registered graph"):
+            single.run(workers=1, executor="process")
+
     def test_parallel_run_builds_each_triple_once(self):
         session = Session(scale=SCALE, seed=SEED)
         (
