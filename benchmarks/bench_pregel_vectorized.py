@@ -117,6 +117,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=17)
     parser.add_argument("--partitions", type=int, default=None)
     parser.add_argument("--iterations", type=int, default=10)
+    parser.add_argument(
+        "--json-out", default=None, help="also write the report document to this file"
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -132,6 +135,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     report = run_sweep(datasets, num_partitions, scale, args.seed, args.iterations)
     print(json.dumps(report, indent=2))
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
 
     bar_row = next(
         row

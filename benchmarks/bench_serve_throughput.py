@@ -1,0 +1,342 @@
+"""F-extra — serve daemon: concurrent query throughput and tail latency.
+
+Starts the ``repro serve`` daemon as a real subprocess, then drives it
+with an asyncio load generator: N concurrent keep-alive connections each
+issuing a deterministic mix of queries (landmark distance estimates,
+exact batched distances on a hot source set, top-k PageRank, degree and
+neighborhood lookups).  Reports queries/sec plus p50/p99 latency per
+query kind, and runs a dedicated *coalescing probe* — a wave of
+concurrent exact-distance requests with distinct sources — whose batch
+count, read back from ``/stats``, must come in below the source count:
+proof that the tick-window batcher collapsed them into shared
+multi-source sweeps.
+
+Like ``bench_store_resume.py`` this is a plain script so CI can exercise
+it cheaply::
+
+    PYTHONPATH=src python benchmarks/bench_serve_throughput.py --quick
+
+``--quick`` shrinks the load to 64 connections over a tiny graph; the
+full run holds >= 1000 concurrent connections in flight.  ``--json-out
+FILE`` additionally writes the report document (e.g. ``BENCH_serve.json``)
+for CI artifact collection.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import random
+import re
+import subprocess
+import sys
+import time
+from collections import deque
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_BANNER = re.compile(r"http://([\d.]+):(\d+)")
+
+#: Share of each query kind in the generated load (out of 100).
+QUERY_MIX = (
+    ("estimate", 50),
+    ("exact", 20),
+    ("pagerank", 10),
+    ("vertex", 10),
+    ("neighbors", 10),
+)
+
+#: Distinct sources the "exact" queries rotate through; small on purpose
+#: so repeat queries exercise the query cache, first hits the batcher.
+HOT_SOURCES = 8
+
+
+# ----------------------------------------------------------------------
+# Server subprocess
+# ----------------------------------------------------------------------
+def start_server(args) -> Tuple[subprocess.Popen, str, int]:
+    """Launch ``repro serve`` on an ephemeral port; returns (proc, host, port)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    command = [
+        sys.executable, "-m", "repro.cli", "serve",
+        "--scale", str(args.scale), "--seed", str(args.seed),
+        "--datasets", args.dataset,
+        "--partitions", str(args.partitions),
+        "--port", "0",
+        "--batch-window-ms", str(args.batch_window_ms),
+        "--landmarks", str(args.landmarks),
+    ]
+    proc = subprocess.Popen(
+        command, env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True
+    )
+    deadline = time.monotonic() + 180.0
+    startup: List[str] = []
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        startup.append(line.rstrip())
+        match = _BANNER.search(line)
+        if match:
+            return proc, match.group(1), int(match.group(2))
+    proc.kill()
+    raise RuntimeError("server never printed its banner:\n" + "\n".join(startup))
+
+
+# ----------------------------------------------------------------------
+# Minimal asyncio HTTP client
+# ----------------------------------------------------------------------
+async def http_get(reader, writer, path: str, method: str = "GET"):
+    writer.write(f"{method} {path} HTTP/1.1\r\nHost: bench\r\n\r\n".encode("ascii"))
+    await writer.drain()
+    status_line = await reader.readline()
+    if not status_line:
+        raise ConnectionError("server closed the connection")
+    status = int(status_line.split()[1])
+    content_length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            content_length = int(value)
+    body = await reader.readexactly(content_length)
+    return status, json.loads(body)
+
+
+def build_requests(rng: random.Random, total: int, vertices: List[int]) -> List[Tuple[str, str]]:
+    """A deterministic shuffled list of ``(kind, path)`` pairs."""
+    hot = vertices[:HOT_SOURCES]
+    kinds = [kind for kind, share in QUERY_MIX for _ in range(share)]
+    requests = []
+    for _ in range(total):
+        kind = rng.choice(kinds)
+        if kind == "estimate":
+            a, b = rng.choice(vertices), rng.choice(vertices)
+            path = f"/distance?source={a}&target={b}"
+        elif kind == "exact":
+            a, b = rng.choice(hot), rng.choice(vertices)
+            path = f"/distance?source={a}&target={b}&exact=1"
+        elif kind == "pagerank":
+            path = f"/pagerank/top?k={rng.choice([5, 10, 25])}"
+        elif kind == "vertex":
+            path = f"/vertex?vertex={rng.choice(vertices)}"
+        else:
+            path = f"/neighbors?vertex={rng.choice(vertices)}&limit=10"
+        requests.append((kind, path))
+    return requests
+
+
+async def run_load(
+    host: str,
+    port: int,
+    requests: List[Tuple[str, str]],
+    concurrency: int,
+) -> Tuple[Dict[str, List[float]], int, float]:
+    """Drive the request list through ``concurrency`` keep-alive connections.
+
+    Returns per-kind latency samples (seconds), the number of non-200
+    responses, and the wall-clock seconds of the whole run.
+    """
+    queue: Deque[Tuple[str, str]] = deque(requests)
+    latencies: Dict[str, List[float]] = {kind: [] for kind, _ in QUERY_MIX}
+    errors = 0
+
+    async def worker() -> None:
+        nonlocal errors
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            while True:
+                try:
+                    kind, path = queue.popleft()
+                except IndexError:
+                    return
+                started = time.perf_counter()
+                status, _ = await http_get(reader, writer, path)
+                latencies[kind].append(time.perf_counter() - started)
+                if status != 200:
+                    errors += 1
+        finally:
+            writer.close()
+            await writer.wait_closed()
+
+    started = time.perf_counter()
+    await asyncio.gather(*(worker() for _ in range(concurrency)))
+    return latencies, errors, time.perf_counter() - started
+
+
+async def coalescing_probe(
+    host: str, port: int, sources: List[int], target: int
+) -> Tuple[int, int]:
+    """Fire one concurrent exact-distance request per distinct source.
+
+    Returns the batcher's ``(queries, batches)`` deltas measured around
+    the wave via ``/stats``; coalescing means batches << sources.
+    """
+
+    async def one(source: int) -> None:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            status, payload = await http_get(
+                reader, writer, f"/distance?source={source}&target={target}&exact=1"
+            )
+            assert status == 200, payload
+            assert payload["method"] == "exact", payload
+        finally:
+            writer.close()
+            await writer.wait_closed()
+
+    async def stats() -> Dict[str, int]:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            _, payload = await http_get(reader, writer, "/stats")
+            return payload["batcher"]
+        finally:
+            writer.close()
+            await writer.wait_closed()
+
+    before = await stats()
+    await asyncio.gather(*(one(source) for source in sources))
+    after = await stats()
+    return (
+        after["queries"] - before["queries"],
+        after["batches"] - before["batches"],
+    )
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """Exact percentile (0..100) of the client-side samples, in ms."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(round(q / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank] * 1000.0
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="64 connections, tiny graph (CI mode)")
+    parser.add_argument("--scale", type=float, default=None, help="dataset scale factor")
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument("--dataset", default="youtube")
+    parser.add_argument("--partitions", type=int, default=16)
+    parser.add_argument("--landmarks", type=int, default=4)
+    parser.add_argument("--batch-window-ms", type=int, default=10)
+    parser.add_argument("--concurrency", type=int, default=None, help="concurrent connections")
+    parser.add_argument("--requests", type=int, default=None, help="total queries to issue")
+    parser.add_argument("--json-out", default=None, help="also write the report to this file")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.scale = args.scale if args.scale is not None else 0.05
+        concurrency = args.concurrency or 64
+        total = args.requests or 512
+    else:
+        args.scale = args.scale if args.scale is not None else 0.2
+        concurrency = args.concurrency or 1000
+        total = args.requests or 5000
+
+    # The benchmark regenerates the same synthetic graph as the daemon
+    # (same catalog recipe, scale and seed) to sample valid vertex ids.
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.datasets.catalog import load_dataset
+
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    rng = random.Random(args.seed)
+    vertices = sorted(int(v) for v in graph.vertex_ids)
+    requests = build_requests(rng, total, vertices)
+    probe_sources = rng.sample(vertices, min(32, len(vertices)))
+
+    proc, host, port = start_server(args)
+    try:
+        probe_queries, probe_batches = asyncio.run(
+            coalescing_probe(host, port, probe_sources, vertices[0])
+        )
+        latencies, errors, seconds = asyncio.run(
+            run_load(host, port, requests, concurrency)
+        )
+
+        async def finale():
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                _, stats = await http_get(reader, writer, "/stats")
+                await http_get(reader, writer, "/shutdown", method="POST")
+                return stats
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        stats = asyncio.run(finale())
+        returncode = proc.wait(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    all_samples = [sample for samples in latencies.values() for sample in samples]
+    report = {
+        "benchmark": "serve_throughput",
+        "mode": "quick" if args.quick else "full",
+        "dataset": args.dataset,
+        "scale": args.scale,
+        "vertices": graph.num_vertices,
+        "edges": graph.num_edges,
+        "concurrency": concurrency,
+        "requests": len(all_samples),
+        "errors": errors,
+        "seconds": round(seconds, 4),
+        "qps": round(len(all_samples) / seconds, 1) if seconds > 0 else 0.0,
+        "latency_ms": {
+            "p50": round(percentile(all_samples, 50), 3),
+            "p99": round(percentile(all_samples, 99), 3),
+        },
+        "latency_by_kind_ms": {
+            kind: {
+                "count": len(samples),
+                "p50": round(percentile(samples, 50), 3),
+                "p99": round(percentile(samples, 99), 3),
+            }
+            for kind, samples in latencies.items()
+        },
+        "coalescing_probe": {
+            "sources": len(probe_sources),
+            "queries": probe_queries,
+            "batches": probe_batches,
+        },
+        "server": {
+            "returncode": returncode,
+            "engine_runs": stats["engine_runs"],
+            "batcher": stats["batcher"],
+            "query_cache": stats["query_cache"],
+        },
+    }
+    print(json.dumps(report, indent=2))
+    if args.json_out:
+        Path(args.json_out).write_text(json.dumps(report, indent=2) + "\n")
+
+    failures = []
+    if errors:
+        failures.append(f"{errors} non-200 responses")
+    if len(all_samples) != total:
+        failures.append(f"issued {len(all_samples)}/{total} requests")
+    if probe_batches >= len(probe_sources):
+        failures.append(
+            f"no coalescing: {len(probe_sources)} concurrent exact queries "
+            f"took {probe_batches} batches"
+        )
+    if returncode != 0:
+        failures.append(f"server exited with code {returncode}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -57,6 +57,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--quick", action="store_true", help="small grid, 1x bar (CI mode)")
     parser.add_argument("--scale", type=float, default=None, help="dataset scale factor")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--json-out", default=None, help="also write the report document to this file"
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -104,6 +107,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             "records_identical": identical,
         }
         print(json.dumps(document, indent=2))
+        if args.json_out:
+            with open(args.json_out, "w") as handle:
+                json.dump(document, handle, indent=2)
+                handle.write("\n")
 
         failures = []
         if not identical:

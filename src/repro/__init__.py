@@ -19,7 +19,11 @@ of Kolokasis & Pratikakis' study of vertex-cut partitioning in GraphX:
   :class:`ResultSet` (queryable, serialisable run records);
 * :mod:`repro.analysis` — correlation analysis, the "cut to fit"
   partitioner advisor, and the legacy study entry points (now thin
-  wrappers over the session planner).
+  wrappers over the session planner);
+* :mod:`repro.serve` — a long-lived HTTP query daemon over preloaded
+  partitioned graphs: landmark-based distance estimates, batched
+  multi-source exact SSSP, top-k PageRank, components and neighborhoods
+  (``python -m repro.cli serve``).
 
 Quickstart
 ----------
@@ -42,8 +46,12 @@ True
 from ._version import __version__
 from .algorithms import (
     AlgorithmResult,
+    LandmarkMatrix,
+    build_landmark_matrix,
+    choose_landmarks,
     connected_components,
     degree_count,
+    multi_source_distances,
     pagerank,
     run_algorithm,
     shortest_paths,
@@ -130,6 +138,7 @@ __all__ = [
     "GraphSummary",
     "GraphValidationError",
     "InfrastructureResult",
+    "LandmarkMatrix",
     "PAPER_DATASET_NAMES",
     "PAPER_PARTITIONER_NAMES",
     "PartitionedGraph",
@@ -144,7 +153,9 @@ __all__ = [
     "StoreInfo",
     "VertexMembership",
     "available_backends",
+    "build_landmark_matrix",
     "canonical_partitioner_name",
+    "choose_landmarks",
     "compute_metrics",
     "connected_components",
     "degree_count",
@@ -153,6 +164,7 @@ __all__ = [
     "load_dataset",
     "load_records",
     "make_partitioner",
+    "multi_source_distances",
     "pagerank",
     "paper_cluster",
     "paper_partitioners",

@@ -10,17 +10,26 @@ from .registry import (
     run_algorithm,
 )
 from .result import AlgorithmResult
-from .shortest_paths import choose_landmarks, shortest_paths
+from .shortest_paths import (
+    LandmarkMatrix,
+    build_landmark_matrix,
+    choose_landmarks,
+    multi_source_distances,
+    shortest_paths,
+)
 from .triangle_count import total_triangles, triangle_count
 
 __all__ = [
     "AlgorithmResult",
     "ALGORITHM_NAMES",
+    "LandmarkMatrix",
     "algorithm_metric_of_interest",
+    "build_landmark_matrix",
     "canonical_algorithm_name",
     "choose_landmarks",
     "connected_components",
     "degree_count",
+    "multi_source_distances",
     "pagerank",
     "reference_pagerank",
     "run_algorithm",

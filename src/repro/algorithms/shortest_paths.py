@@ -8,11 +8,25 @@ landmark ``l`` is the length of the shortest directed path ``v -> ... -> l``.
 The paper evaluates this algorithm with 5 randomly chosen source vertices
 per dataset; :func:`choose_landmarks` reproduces that selection
 deterministically from a seed.
+
+Two serving-oriented extensions live here as well:
+
+* :func:`multi_source_distances` runs the *forward* orientation — seed
+  vertices act as sources and distances propagate along edge direction —
+  for any number of sources in a **single** Pregel run.  This is the
+  frontier sweep the ``repro serve`` batching scheduler coalesces
+  concurrent point queries into.
+* :func:`build_landmark_matrix` combines one backward and one forward
+  sweep over a landmark set into a :class:`LandmarkMatrix`, whose
+  triangle-inequality :meth:`~LandmarkMatrix.estimate` answers
+  point-to-point distance queries in O(landmarks) without touching the
+  engine.
 """
 
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 import numpy as np
@@ -25,7 +39,15 @@ from ..engine.pregel import pregel
 from ..errors import EngineError
 from .result import AlgorithmResult
 
-__all__ = ["shortest_paths", "choose_landmarks", "ShortestPathsKernel"]
+__all__ = [
+    "shortest_paths",
+    "multi_source_distances",
+    "choose_landmarks",
+    "build_landmark_matrix",
+    "LandmarkMatrix",
+    "ShortestPathsKernel",
+    "MultiSourceShortestPathsKernel",
+]
 
 _EDGE_UNITS = 1.0
 _VERTEX_UNITS = 0.5
@@ -83,6 +105,19 @@ class ShortestPathsKernel(ArrayMessageKernel):
     def apply_messages(self, state, target_idx, messages):
         state[target_idx] = np.minimum(state[target_idx], messages)
         return state
+
+
+class MultiSourceShortestPathsKernel(ShortestPathsKernel):
+    """The forward orientation of :class:`ShortestPathsKernel`: candidate
+    rows ``src + 1`` travel *along* edge direction to destinations that
+    improve, so row entries are ``d(source -> v)`` instead of
+    ``d(v -> landmark)``.  Encoding, merging and decoding are inherited."""
+
+    def send_message_array(self, src_idx, dst_idx, state):
+        candidates = state[src_idx] + 1.0
+        improving = (candidates < state[dst_idx]).any(axis=1)
+        positions = np.flatnonzero(improving)
+        return positions, dst_idx[positions], candidates[positions]
 
 
 def shortest_paths(
@@ -147,12 +182,194 @@ def shortest_paths(
     )
 
 
-def choose_landmarks(pgraph_or_graph, count: int = 5, seed: int = 7) -> List[int]:
-    """Deterministically sample landmark vertices, as the paper's SSSP setup does."""
+def multi_source_distances(
+    pgraph: PartitionedGraph,
+    sources: Iterable[int],
+    max_iterations: Optional[int] = None,
+    cluster: Optional[ClusterConfig] = None,
+    cost_parameters: Optional[CostParameters] = None,
+    vectorized: bool = True,
+) -> AlgorithmResult:
+    """Hop distances *from* every source vertex, all in one Pregel run.
+
+    The result's ``vertex_values`` map each vertex ``v`` to
+    ``{source: d(source -> v)}`` for the sources that reach it, so a
+    point query ``d(u -> v)`` reads ``vertex_values[v].get(u)``.  Any
+    number of sources share one frontier sweep — this is the primitive
+    the serving layer's batching scheduler coalesces concurrent SSSP
+    requests into, and running it with sources ``[s]`` N times is
+    value-identical to one run with sources ``[s1, ..., sN]``.
+
+    Duplicate sources are collapsed (first occurrence wins the ordering).
+    """
+    seen: Dict[int, None] = {}
+    for v in sources:
+        seen.setdefault(int(v), None)
+    source_list = list(seen)
+    if not source_list:
+        raise EngineError("at least one source vertex is required")
+    known = set(pgraph.graph.vertex_ids.tolist())
+    unknown = [v for v in source_list if v not in known]
+    if unknown:
+        raise EngineError(f"sources not present in the graph: {unknown}")
+
+    iterations = max_iterations if max_iterations is not None else pgraph.graph.num_vertices + 1
+    source_set = set(source_list)
+
+    initial_values: Dict[int, Dict[int, int]] = {
+        int(v): ({int(v): 0} if int(v) in source_set else {})
+        for v in pgraph.graph.vertex_ids.tolist()
+    }
+
+    def vertex_program(vertex, value, message):
+        if not message:
+            return value
+        return _merge_maps(value, message)
+
+    def send_message(src, src_value, dst, dst_value):
+        if not src_value:
+            return ()
+        candidate = _increment(src_value)
+        if _merge_maps(candidate, dst_value) != dst_value:
+            return ((dst, candidate),)
+        return ()
+
+    result = pregel(
+        pgraph,
+        initial_values=initial_values,
+        initial_message={},
+        vertex_program=vertex_program,
+        send_message=send_message,
+        merge_message=_merge_maps,
+        max_iterations=iterations,
+        active_direction="either",
+        cluster=cluster,
+        cost_parameters=cost_parameters,
+        edge_compute_units=_EDGE_UNITS,
+        vertex_compute_units=_VERTEX_UNITS,
+        message_kernel=MultiSourceShortestPathsKernel(source_list) if vectorized else None,
+    )
+
+    return AlgorithmResult(
+        algorithm="MultiSourceSSSP",
+        vertex_values=dict(result.vertex_values),
+        num_supersteps=result.num_supersteps,
+        report=result.report,
+    )
+
+
+@dataclass
+class LandmarkMatrix:
+    """Dense landmark-distance matrices for triangle-inequality estimates.
+
+    ``to_landmark[i, j]`` is ``d(vertex_ids[i] -> landmarks[j])`` and
+    ``from_landmark[j, i]`` is ``d(landmarks[j] -> vertex_ids[i])``
+    (``inf`` marks unreachable).  :meth:`estimate` answers a point query
+    with the best landmark detour ``d(u -> l) + d(l -> v)`` — an upper
+    bound on the true directed distance that is *exact* whenever either
+    endpoint is itself a landmark.
+    """
+
+    landmarks: List[int]
+    vertex_ids: np.ndarray = field(repr=False)
+    to_landmark: np.ndarray = field(repr=False)
+    from_landmark: np.ndarray = field(repr=False)
+
+    def index_of(self, vertex: int) -> int:
+        """Dense row index of ``vertex`` (:class:`EngineError` if unknown)."""
+        position = int(np.searchsorted(self.vertex_ids, int(vertex)))
+        if position >= self.vertex_ids.size or int(self.vertex_ids[position]) != int(vertex):
+            raise EngineError(f"vertex {vertex!r} is not in the graph")
+        return position
+
+    def estimate(self, source: int, target: int) -> Optional[int]:
+        """Upper-bound hop distance ``d(source -> target)`` via the best
+        landmark detour, or None when no landmark links the pair."""
+        if int(source) == int(target):
+            self.index_of(source)
+            return 0
+        via = self.to_landmark[self.index_of(source)] + self.from_landmark[:, self.index_of(target)]
+        best = float(via.min()) if via.size else float("inf")
+        return None if not np.isfinite(best) else int(best)
+
+    @property
+    def num_landmarks(self) -> int:
+        return len(self.landmarks)
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the two distance matrices."""
+        return int(self.to_landmark.nbytes + self.from_landmark.nbytes)
+
+
+def _distance_matrix(
+    vertex_ids: np.ndarray, landmarks: List[int], values: Dict[int, Dict[int, int]]
+) -> np.ndarray:
+    """A dense ``(num_vertices, num_landmarks)`` matrix from per-vertex maps."""
+    column = {landmark: j for j, landmark in enumerate(landmarks)}
+    matrix = np.full((vertex_ids.size, len(landmarks)), np.inf)
+    for i, v in enumerate(vertex_ids.tolist()):
+        for landmark, distance in values.get(v, {}).items():
+            matrix[i, column[landmark]] = float(distance)
+    return matrix
+
+
+def build_landmark_matrix(
+    pgraph: PartitionedGraph,
+    landmarks: Iterable[int],
+    max_iterations: Optional[int] = None,
+    cluster: Optional[ClusterConfig] = None,
+    cost_parameters: Optional[CostParameters] = None,
+    vectorized: bool = True,
+) -> LandmarkMatrix:
+    """Precompute the :class:`LandmarkMatrix` for ``landmarks``.
+
+    One backward sweep (:func:`shortest_paths`) yields every vertex's
+    distance *to* each landmark; one forward sweep
+    (:func:`multi_source_distances`) yields each landmark's distance to
+    every vertex.  Two engine runs total, regardless of landmark count.
+    """
+    landmark_list = [int(v) for v in landmarks]
+    vertex_ids = pgraph.graph.vertex_ids
+    to_values = shortest_paths(
+        pgraph,
+        landmark_list,
+        max_iterations=max_iterations,
+        cluster=cluster,
+        cost_parameters=cost_parameters,
+        vectorized=vectorized,
+    ).vertex_values
+    from_values = multi_source_distances(
+        pgraph,
+        landmark_list,
+        max_iterations=max_iterations,
+        cluster=cluster,
+        cost_parameters=cost_parameters,
+        vectorized=vectorized,
+    ).vertex_values
+    return LandmarkMatrix(
+        landmarks=landmark_list,
+        vertex_ids=vertex_ids,
+        to_landmark=_distance_matrix(vertex_ids, landmark_list, to_values),
+        from_landmark=_distance_matrix(vertex_ids, landmark_list, from_values).T.copy(),
+    )
+
+
+def choose_landmarks(
+    pgraph_or_graph, count: int = 5, seed: Optional[int] = 7
+) -> List[int]:
+    """Deterministically sample landmark vertices, as the paper's SSSP setup does.
+
+    ``seed=None`` selects the default seed (7), mirroring
+    :meth:`Session.landmarks(seed=None) <repro.session.Session.landmarks>`;
+    a ``count`` below 1 is a configuration error, not an empty sample.
+    """
+    if count < 1:
+        raise EngineError(f"landmark count must be >= 1, got {count}")
     graph = getattr(pgraph_or_graph, "graph", pgraph_or_graph)
     vertices = graph.vertex_ids.tolist()
     if not vertices:
         raise EngineError("cannot choose landmarks from an empty graph")
-    rng = random.Random(seed)
+    rng = random.Random(7 if seed is None else seed)
     count = min(count, len(vertices))
     return sorted(rng.sample(vertices, count))

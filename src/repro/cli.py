@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction.
 
-Provides six sub-commands mirroring the evaluation workflow::
+Provides seven sub-commands mirroring the evaluation workflow::
 
     python -m repro.cli characterize                 # Table 1
     python -m repro.cli metrics --partitions 128     # Table 2 / 3
@@ -8,6 +8,7 @@ Provides six sub-commands mirroring the evaluation workflow::
     python -m repro.cli sweep --algorithms PR CC --partitions 128 256
     python -m repro.cli advise --dataset orkut --algorithm PR
     python -m repro.cli cache info --cache-dir .repro-cache
+    python -m repro.cli serve --datasets youtube --partitions 16
 
 ``sweep`` is the grid front-end of the :mod:`repro.session` planner: it
 covers multi-algorithm x multi-granularity grids with one shared
@@ -15,7 +16,12 @@ partition cache, supports ``--workers N`` with ``--executor
 thread|process`` (threads share one in-memory session; processes ship
 cells to worker interpreters for true multi-core execution), and
 ``--dry-run`` to print the planned cells and cache-hit estimate without
-executing anything.  ``--cache-dir DIR`` attaches a persistent
+executing anything.  ``serve`` starts the long-lived query daemon of
+:mod:`repro.serve`: preloaded partitioned graphs plus a
+landmark-distance index answer distance / PageRank / component /
+neighborhood queries over HTTP, with concurrent exact-distance requests
+coalesced into single multi-source sweeps (with ``--cache-dir``,
+restarts are warm).  ``--cache-dir DIR`` attaches a persistent
 :class:`~repro.session.store.ArtifactStore`: placements, landmark
 choices and completed cells survive the process, so repeating — or
 resuming an interrupted — sweep re-runs only what is missing
@@ -76,6 +82,28 @@ def _positive_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    """argparse type: an integer >= 0 (a zero batch window flushes per tick)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _port_number(text: str) -> int:
+    """argparse type: a TCP port (0 asks the OS for an ephemeral one)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if not 0 <= value <= 65535:
+        raise argparse.ArgumentTypeError(f"port must be in [0, 65535], got {value}")
     return value
 
 
@@ -248,6 +276,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict 'clear' to one artifact kind (default: all)",
     )
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="start the long-lived graph query daemon",
+        parents=[global_flags],
+    )
+    serve_parser.add_argument(
+        "--datasets",
+        nargs="+",
+        default=["youtube"],
+        help="catalog datasets to preload and serve (default: youtube)",
+    )
+    serve_parser.add_argument(
+        "--partitioner",
+        type=_partitioner_name,
+        default="Hybrid",
+        help="partitioning strategy for the served graphs (default: Hybrid)",
+    )
+    serve_parser.add_argument("--partitions", type=_positive_int, default=16)
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port",
+        type=_port_number,
+        default=8571,
+        help="TCP port to bind; 0 picks an ephemeral port (default: 8571)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="artifact store for warm restarts: placements and landmark "
+        "choices are reused across daemon starts",
+    )
+    serve_parser.add_argument(
+        "--landmarks",
+        type=_positive_int,
+        default=5,
+        help="landmark count for the distance-estimate index (default: 5)",
+    )
+    serve_parser.add_argument(
+        "--iterations",
+        type=_positive_int,
+        default=10,
+        help="PageRank iterations behind /pagerank/top (default: 10)",
+    )
+    serve_parser.add_argument(
+        "--top-k",
+        type=_positive_int,
+        default=10,
+        help="default k for /pagerank/top (default: 10)",
+    )
+    serve_parser.add_argument(
+        "--batch-window-ms",
+        type=_nonnegative_int,
+        default=25,
+        help="tick window within which concurrent exact-distance requests "
+        "coalesce into one multi-source sweep (default: 25)",
+    )
+    serve_parser.add_argument(
+        "--max-batch",
+        type=_positive_int,
+        default=256,
+        help="flush a batch early once this many distinct sources are "
+        "pending (default: 256)",
+    )
+
     advise_parser = subparsers.add_parser(
         "advise", help="recommend a partitioner", parents=[global_flags]
     )
@@ -416,6 +508,52 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Import here: the daemon stack (asyncio server, batcher threads) is
+    # irrelevant to every other sub-command.
+    from .serve import GraphService, serve_forever
+
+    for name in args.datasets:
+        get_spec(name)
+    session = Session(scale=args.scale, seed=args.seed, store=args.cache_dir)
+    service = GraphService(
+        session,
+        datasets=args.datasets,
+        partitioner=args.partitioner,
+        num_partitions=args.partitions,
+        landmark_count=args.landmarks,
+        pagerank_iterations=args.iterations,
+    )
+    print(
+        f"preloading {len(args.datasets)} dataset(s) with {args.partitioner} "
+        f"at {args.partitions} partitions (scale={args.scale}, seed={args.seed})...",
+        flush=True,
+    )
+    for row in service.preload():
+        print(
+            f"  {row['dataset']}: {row['vertices']:,} vertices, "
+            f"{row['edges']:,} edges, {row['landmarks']} landmarks "
+            f"({row['seconds']}s)",
+            flush=True,
+        )
+    if args.cache_dir:
+        stats = session.stats
+        print(
+            f"  artifact store {args.cache_dir}: {stats.disk_hits} disk hits, "
+            f"{stats.disk_misses} misses",
+            flush=True,
+        )
+    serve_forever(
+        service,
+        host=args.host,
+        port=args.port,
+        batch_window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
+        top_k_default=args.top_k,
+    )
+    return 0
+
+
 def _cmd_advise(args: argparse.Namespace) -> int:
     graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     if args.partitions:
@@ -462,6 +600,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "advise": _cmd_advise,
         "cache": _cmd_cache,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

@@ -1,0 +1,29 @@
+"""Long-lived graph query service: daemon, router, batching, caching.
+
+The serving layer answers point queries (distances, top-k PageRank,
+components, degrees/neighborhoods) over graphs partitioned and preloaded
+through a :class:`~repro.session.Session`.  Its centrepiece is the
+batching scheduler: concurrent exact-SSSP requests inside one tick
+window collapse into a single multi-source Pregel sweep.
+"""
+
+from .batcher import BatchStats, BatchingScheduler
+from .cache import QueryCache
+from .protocol import ServeError
+from .router import Router
+from .server import GraphQueryServer, serve_forever
+from .service import GraphService
+from .telemetry import LatencyHistogram, ServerTelemetry
+
+__all__ = [
+    "BatchStats",
+    "BatchingScheduler",
+    "GraphQueryServer",
+    "GraphService",
+    "LatencyHistogram",
+    "QueryCache",
+    "Router",
+    "ServeError",
+    "ServerTelemetry",
+    "serve_forever",
+]

@@ -1,0 +1,133 @@
+"""JSON-over-HTTP wire protocol of the ``repro serve`` daemon.
+
+The server speaks a deliberately small dialect: every response body is a
+JSON object, every error is a JSON object of the shape
+``{"error": {"status": ..., "message": ...}}``, and request inputs
+arrive as URL query parameters.  This module owns the pieces shared by
+the server loop and the router — typed parameter extraction (bad input
+raises :class:`ServeError`, which the router turns into a 4xx response
+instead of a daemon crash) and HTTP response formatting.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from ..errors import ReproError
+
+__all__ = [
+    "ServeError",
+    "HTTP_REASONS",
+    "error_payload",
+    "render_response",
+    "get_str",
+    "require_int",
+    "get_int",
+    "get_flag",
+]
+
+#: Reason phrases for the status codes the daemon emits.
+HTTP_REASONS: Dict[int, str] = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ServeError(ReproError):
+    """A request-level failure carrying the HTTP status to report.
+
+    Raised by parameter extraction and query handlers for *client*
+    mistakes (missing vertex, unknown dataset, malformed integer); the
+    router maps it to a JSON error response, so a bad request can never
+    take the daemon down.
+    """
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = int(status)
+
+
+def error_payload(status: int, message: str) -> Dict[str, object]:
+    """The canonical JSON error body."""
+    return {"error": {"status": int(status), "message": str(message)}}
+
+
+def render_response(
+    status: int, payload: Dict[str, object], keep_alive: bool = True
+) -> bytes:
+    """Serialise one complete HTTP/1.1 response with a JSON body."""
+    body = json.dumps(payload).encode("utf-8")
+    reason = HTTP_REASONS.get(status, "Unknown")
+    connection = "keep-alive" if keep_alive else "close"
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {connection}\r\n"
+        f"\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+# ----------------------------------------------------------------------
+# Typed query-parameter extraction
+# ----------------------------------------------------------------------
+def get_str(params: Dict[str, str], name: str, default: Optional[str] = None) -> Optional[str]:
+    """The raw string value of ``name`` (or ``default``)."""
+    value = params.get(name)
+    if value is None or value == "":
+        return default
+    return value
+
+
+def require_int(params: Dict[str, str], name: str) -> int:
+    """The integer value of a mandatory parameter (400 when absent or bad)."""
+    raw = params.get(name)
+    if raw is None or raw == "":
+        raise ServeError(f"missing required parameter {name!r}")
+    try:
+        return int(raw)
+    except ValueError:
+        raise ServeError(f"parameter {name!r} must be an integer, got {raw!r}")
+
+
+def get_int(
+    params: Dict[str, str],
+    name: str,
+    default: int,
+    minimum: Optional[int] = None,
+    maximum: Optional[int] = None,
+) -> int:
+    """The integer value of an optional parameter, range-checked."""
+    raw = params.get(name)
+    if raw is None or raw == "":
+        value = int(default)
+    else:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ServeError(f"parameter {name!r} must be an integer, got {raw!r}")
+    if minimum is not None and value < minimum:
+        raise ServeError(f"parameter {name!r} must be >= {minimum}, got {value}")
+    if maximum is not None and value > maximum:
+        raise ServeError(f"parameter {name!r} must be <= {maximum}, got {value}")
+    return value
+
+
+def get_flag(params: Dict[str, str], name: str, default: bool = False) -> bool:
+    """A boolean parameter: ``1/true/yes/on`` are truthy, ``0/false/no/off`` falsy."""
+    raw = params.get(name)
+    if raw is None or raw == "":
+        return default
+    lowered = raw.strip().lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise ServeError(f"parameter {name!r} must be a boolean flag, got {raw!r}")

@@ -1,0 +1,249 @@
+"""Request routing and instrumentation for the serve daemon.
+
+The :class:`Router` maps ``(method, path)`` pairs onto async handlers,
+times every dispatch into the shared
+:class:`~repro.serve.telemetry.ServerTelemetry`, and converts failures
+into JSON error responses: :class:`~repro.serve.protocol.ServeError`
+keeps its status (the 4xx family), any other
+:class:`~repro.errors.ReproError` is a 400, and an unexpected exception
+becomes a 500 — in every case the daemon keeps serving.
+
+Endpoints
+---------
+========================  ====================================================
+``GET /health``           liveness + preloaded datasets
+``GET /distance``         SSSP distance: landmark estimate, exact on demand
+``GET /pagerank/top``     top-k PageRank vertices
+``GET /component``        weakly-connected component of a vertex
+``GET /vertex``           in/out degree of a vertex
+``GET /neighbors``        successor/predecessor list of a vertex
+``GET /stats``            endpoint counters, latency histograms, cache/batcher
+``POST /shutdown``        clean daemon shutdown
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import traceback
+from typing import Awaitable, Callable, Dict, Optional, Tuple
+
+from ..errors import ReproError
+from .batcher import BatchingScheduler
+from .cache import QueryCache
+from .protocol import (
+    ServeError,
+    error_payload,
+    get_flag,
+    get_int,
+    get_str,
+    require_int,
+)
+from .service import GraphService
+from .telemetry import ServerTelemetry
+
+__all__ = ["Router"]
+
+Handler = Callable[[Dict[str, str]], Awaitable[Dict[str, object]]]
+
+
+class Router:
+    """Dispatch table plus per-endpoint telemetry for the HTTP front."""
+
+    def __init__(
+        self,
+        service: GraphService,
+        batcher: BatchingScheduler,
+        top_k_default: int = 10,
+        neighbor_limit_default: int = 100,
+        shutdown_event: Optional[asyncio.Event] = None,
+    ) -> None:
+        self.service = service
+        self.batcher = batcher
+        self.cache: QueryCache = service.cache
+        self.telemetry = ServerTelemetry()
+        self.top_k_default = int(top_k_default)
+        self.neighbor_limit_default = int(neighbor_limit_default)
+        self.shutdown_event = shutdown_event or asyncio.Event()
+        self._routes: Dict[Tuple[str, str], Handler] = {
+            ("GET", "/health"): self._health,
+            ("GET", "/distance"): self._distance,
+            ("GET", "/pagerank/top"): self._pagerank_top,
+            ("GET", "/component"): self._component,
+            ("GET", "/vertex"): self._vertex,
+            ("GET", "/neighbors"): self._neighbors,
+            ("GET", "/stats"): self._stats,
+            ("POST", "/shutdown"): self._shutdown,
+        }
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    async def dispatch(
+        self, method: str, path: str, params: Dict[str, str]
+    ) -> Tuple[int, Dict[str, object]]:
+        """Route one request; always returns ``(status, payload)``."""
+        handler = self._routes.get((method, path))
+        if handler is None:
+            known_paths = {route_path for _, route_path in self._routes}
+            if path in known_paths:
+                status, payload = 405, error_payload(
+                    405, f"method {method} not allowed for {path}"
+                )
+            else:
+                status, payload = 404, error_payload(404, f"unknown endpoint {path!r}")
+            self.telemetry.record(path, 0.0, status)
+            return status, payload
+
+        started = time.perf_counter()
+        try:
+            payload = await handler(params)
+            status = 200
+        except ServeError as error:
+            status, payload = error.status, error_payload(error.status, str(error))
+        except ReproError as error:
+            status, payload = 400, error_payload(400, str(error))
+        except Exception as error:  # noqa: BLE001 - the daemon must not die
+            traceback.print_exc()
+            status, payload = 500, error_payload(
+                500, f"internal error: {type(error).__name__}: {error}"
+            )
+        self.telemetry.record(path, time.perf_counter() - started, status)
+        return status, payload
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    async def _health(self, params: Dict[str, str]) -> Dict[str, object]:
+        return {
+            "status": "ok",
+            "datasets": self.service.datasets,
+            "uptime_seconds": round(
+                time.monotonic() - self.telemetry.started_monotonic, 3
+            ),
+        }
+
+    async def _distance(self, params: Dict[str, str]) -> Dict[str, object]:
+        dataset = self.service.resolve(get_str(params, "dataset"))
+        source = require_int(params, "source")
+        target = require_int(params, "target")
+        want_exact = get_flag(params, "exact", default=False)
+
+        # Validate both endpoints up front so bad vertices are a 404, not
+        # a wasted engine run.
+        matrix = self.service.matrix(dataset)
+        try:
+            matrix.index_of(source)
+            matrix.index_of(target)
+        except ReproError as exc:
+            raise ServeError(str(exc), status=404) from None
+
+        payload: Dict[str, object] = {
+            "dataset": dataset,
+            "source": source,
+            "target": target,
+        }
+
+        exact_key = self.service.exact_map_key(dataset, source)
+        hit, exact_map = self.cache.lookup(exact_key)
+        if hit:
+            distance = exact_map.get(target)
+            payload.update(
+                method="exact", cached=True, distance=distance,
+                reachable=distance is not None,
+            )
+            return payload
+
+        if not want_exact:
+            estimate = self.service.estimate_distance(dataset, source, target)
+            if estimate is not None:
+                payload.update(
+                    method="estimate", cached=False, distance=estimate,
+                    reachable=True, landmarks=matrix.num_landmarks,
+                )
+                return payload
+            # No landmark connects the pair: fall through to the exact
+            # path so "unreachable" is an answer, not a guess.
+            payload["estimate_fallback"] = True
+
+        exact_map = await self.batcher.submit((dataset, source))
+        distance = exact_map.get(target)
+        payload.update(
+            method="exact", cached=False, distance=distance,
+            reachable=distance is not None,
+        )
+        return payload
+
+    async def _pagerank_top(self, params: Dict[str, str]) -> Dict[str, object]:
+        dataset = self.service.resolve(get_str(params, "dataset"))
+        k = get_int(params, "k", default=self.top_k_default, minimum=1, maximum=10000)
+        key = QueryCache.key(
+            kind="pagerank-top",
+            dataset=dataset,
+            k=k,
+            iterations=self.service.pagerank_iterations,
+        )
+        hit, top = self.cache.lookup(key)
+        if not hit:
+            loop = asyncio.get_running_loop()
+            top = await loop.run_in_executor(
+                None, self.service.top_pagerank, dataset, k
+            )
+            self.cache.put(key, top)
+        return {
+            "dataset": dataset,
+            "k": k,
+            "iterations": self.service.pagerank_iterations,
+            "cached": hit,
+            "top": top,
+        }
+
+    async def _component(self, params: Dict[str, str]) -> Dict[str, object]:
+        dataset = self.service.resolve(get_str(params, "dataset"))
+        vertex = require_int(params, "vertex")
+        loop = asyncio.get_running_loop()
+        payload = await loop.run_in_executor(
+            None, self.service.component_of, dataset, vertex
+        )
+        payload["dataset"] = dataset
+        return payload
+
+    async def _vertex(self, params: Dict[str, str]) -> Dict[str, object]:
+        dataset = self.service.resolve(get_str(params, "dataset"))
+        vertex = require_int(params, "vertex")
+        payload = self.service.vertex_info(dataset, vertex)
+        payload["dataset"] = dataset
+        return payload
+
+    async def _neighbors(self, params: Dict[str, str]) -> Dict[str, object]:
+        dataset = self.service.resolve(get_str(params, "dataset"))
+        vertex = require_int(params, "vertex")
+        direction = get_str(params, "direction", "out")
+        limit = get_int(
+            params, "limit", default=self.neighbor_limit_default, minimum=1
+        )
+        payload = self.service.neighbors(dataset, vertex, direction, limit)
+        payload["dataset"] = dataset
+        return payload
+
+    async def _stats(self, params: Dict[str, str]) -> Dict[str, object]:
+        snapshot = self.telemetry.snapshot()
+        snapshot.update(
+            {
+                "datasets": self.service.graph_summaries(),
+                "query_cache": self.cache.stats(),
+                "batcher": dict(
+                    self.batcher.stats.as_dict(),
+                    window_ms=round(self.batcher.window_seconds * 1000.0, 3),
+                    max_batch=self.batcher.max_batch,
+                ),
+                "engine_runs": self.service.engine_runs,
+                "session": self.service.session.stats.as_dict(),
+            }
+        )
+        return snapshot
+
+    async def _shutdown(self, params: Dict[str, str]) -> Dict[str, object]:
+        self.shutdown_event.set()
+        return {"status": "shutting down"}

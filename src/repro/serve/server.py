@@ -1,0 +1,226 @@
+"""The long-lived HTTP daemon behind ``repro serve``.
+
+A deliberately small HTTP/1.1 server on raw ``asyncio`` streams (stdlib
+only, no new dependencies): request line + headers + optional
+``Content-Length`` body in, JSON out, keep-alive by default so a load
+generator can hold thousands of concurrent connections without paying
+per-request handshakes.  Anything unparseable is answered with a 400
+JSON error and the connection is closed — a malformed request can never
+take the daemon down.
+
+:func:`serve_forever` is the blocking entry point the CLI uses: it binds
+the socket, prints the serving banner, and runs until SIGINT/SIGTERM or
+a ``POST /shutdown`` fires the router's shutdown event.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import sys
+from typing import Dict, Optional, TextIO, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+from .batcher import BatchingScheduler
+from .protocol import error_payload, render_response
+from .router import Router
+from .service import GraphService
+
+__all__ = ["GraphQueryServer", "serve_forever"]
+
+#: Seconds an idle keep-alive connection may sit before the server closes it.
+IDLE_TIMEOUT_SECONDS = 120.0
+#: Hard cap on request-line/header sizes (bytes); beyond this is a 400.
+MAX_LINE_BYTES = 16384
+#: Hard cap on request bodies (the protocol has no body-carrying endpoint
+#: that needs more).
+MAX_BODY_BYTES = 1 << 20
+
+
+class GraphQueryServer:
+    """Asyncio HTTP front over a :class:`~repro.serve.router.Router`."""
+
+    def __init__(self, router: Router, host: str = "127.0.0.1", port: int = 8080) -> None:
+        self.router = router
+        self.host = host
+        self.port = int(port)
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    # ------------------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns the actual ``(host, port)``
+        (useful when constructed with port 0)."""
+        self._server = await asyncio.start_server(
+            self._handle_client, host=self.host, port=self.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], int(sockname[1])
+        return self.host, self.port
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.router.batcher.close()
+
+    async def serve_until_shutdown(self) -> None:
+        """Run until the router's shutdown event fires, then close."""
+        if self._server is None:
+            await self.start()
+        await self.router.shutdown_event.wait()
+        await self.close()
+
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                keep_alive = await self._handle_one_request(reader, writer)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _handle_one_request(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Serve one request; returns whether to keep the connection open."""
+        try:
+            request_line = await asyncio.wait_for(
+                reader.readline(), timeout=IDLE_TIMEOUT_SECONDS
+            )
+        except asyncio.TimeoutError:
+            return False
+        if not request_line:
+            return False  # clean EOF between requests
+        if len(request_line) > MAX_LINE_BYTES:
+            await self._respond(writer, 400, "request line too long", close=True)
+            return False
+
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            await self._respond(writer, 400, "malformed request line", close=True)
+            return False
+        method, raw_target, version = parts[0].upper(), parts[1], parts[2]
+
+        headers, ok = await self._read_headers(reader)
+        if not ok:
+            await self._respond(writer, 400, "malformed headers", close=True)
+            return False
+
+        # Drain (and bound) any body so keep-alive framing stays intact.
+        length_text = headers.get("content-length", "0")
+        try:
+            content_length = int(length_text)
+        except ValueError:
+            await self._respond(writer, 400, "bad Content-Length", close=True)
+            return False
+        if content_length < 0 or content_length > MAX_BODY_BYTES:
+            await self._respond(writer, 400, "unacceptable Content-Length", close=True)
+            return False
+        if content_length:
+            try:
+                await reader.readexactly(content_length)
+            except asyncio.IncompleteReadError:
+                return False
+
+        split = urlsplit(raw_target)
+        params: Dict[str, str] = dict(parse_qsl(split.query, keep_blank_values=True))
+
+        status, payload = await self.router.dispatch(method, split.path, params)
+
+        wants_close = (
+            headers.get("connection", "").lower() == "close" or version == "HTTP/1.0"
+        )
+        writer.write(render_response(status, payload, keep_alive=not wants_close))
+        await writer.drain()
+        return not wants_close
+
+    @staticmethod
+    async def _read_headers(
+        reader: asyncio.StreamReader,
+    ) -> Tuple[Dict[str, str], bool]:
+        headers: Dict[str, str] = {}
+        while True:
+            line = await asyncio.wait_for(reader.readline(), timeout=IDLE_TIMEOUT_SECONDS)
+            if not line or len(line) > MAX_LINE_BYTES or len(headers) > 100:
+                return headers, False
+            text = line.decode("latin-1").rstrip("\r\n")
+            if not text:
+                return headers, True
+            name, separator, value = text.partition(":")
+            if not separator:
+                return headers, False
+            headers[name.strip().lower()] = value.strip()
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter, status: int, message: str, close: bool = False
+    ) -> None:
+        writer.write(
+            render_response(status, error_payload(status, message), keep_alive=not close)
+        )
+        await writer.drain()
+
+
+def serve_forever(
+    service: GraphService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    batch_window_ms: int = 25,
+    max_batch: int = 256,
+    top_k_default: int = 10,
+    stream: Optional[TextIO] = None,
+) -> Dict[str, object]:
+    """Blocking entry point: preloaded ``service`` -> daemon until shutdown.
+
+    Returns a final summary (requests served, uptime) after a clean
+    shutdown via signal or ``POST /shutdown``.
+    """
+    out = stream if stream is not None else sys.stdout
+
+    async def _main() -> Dict[str, object]:
+        batcher = BatchingScheduler(
+            service.run_batch,
+            window_seconds=batch_window_ms / 1000.0,
+            max_batch=max_batch,
+        )
+        router = Router(service, batcher, top_k_default=top_k_default)
+        server = GraphQueryServer(router, host=host, port=port)
+        bound_host, bound_port = await server.start()
+
+        loop = asyncio.get_running_loop()
+        for signal_number in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(signal_number, router.shutdown_event.set)
+
+        print(
+            f"serving {', '.join(service.datasets)} on "
+            f"http://{bound_host}:{bound_port} (POST /shutdown or Ctrl+C to stop)",
+            file=out,
+            flush=True,
+        )
+        await server.serve_until_shutdown()
+        summary = {
+            "requests_total": router.telemetry.total_requests,
+            "engine_runs": service.engine_runs,
+            "query_cache": router.cache.stats(),
+            "batcher": router.batcher.stats.as_dict(),
+        }
+        print(
+            f"shutdown: served {summary['requests_total']} requests, "
+            f"{summary['engine_runs']} engine runs, "
+            f"{summary['batcher']['batches']} batched sweeps",
+            file=out,
+            flush=True,
+        )
+        return summary
+
+    return asyncio.run(_main())

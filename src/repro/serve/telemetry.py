@@ -1,0 +1,139 @@
+"""Request telemetry: per-endpoint counters and latency histograms.
+
+Latencies land in fixed geometric buckets (50µs .. 30s), so recording is
+O(1) per request, memory is constant, and percentiles are computed on
+demand by walking the cumulative counts with linear interpolation inside
+the winning bucket — the classic load-balancer histogram trade-off:
+cheap writes, approximate (but bounded-error) reads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["LatencyHistogram", "EndpointStats", "ServerTelemetry"]
+
+#: Bucket upper bounds in milliseconds (geometric, ~x2.2 steps), plus an
+#: implicit overflow bucket for anything slower than the last bound.
+_BUCKET_BOUNDS_MS: List[float] = [
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0, 30000.0,
+]
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with interpolated percentiles."""
+
+    def __init__(self) -> None:
+        self._counts = [0] * (len(_BUCKET_BOUNDS_MS) + 1)
+        self.count = 0
+        self.total_ms = 0.0
+        self.max_ms = 0.0
+
+    def record(self, seconds: float) -> None:
+        ms = seconds * 1000.0
+        slot = len(_BUCKET_BOUNDS_MS)
+        for i, bound in enumerate(_BUCKET_BOUNDS_MS):
+            if ms <= bound:
+                slot = i
+                break
+        self._counts[slot] += 1
+        self.count += 1
+        self.total_ms += ms
+        if ms > self.max_ms:
+            self.max_ms = ms
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100) in milliseconds, interpolated
+        within the winning bucket; 0.0 when nothing was recorded."""
+        if self.count == 0:
+            return 0.0
+        rank = q / 100.0 * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self._counts):
+            if bucket_count == 0:
+                continue
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= rank:
+                lower = 0.0 if i == 0 else _BUCKET_BOUNDS_MS[i - 1]
+                upper = _BUCKET_BOUNDS_MS[i] if i < len(_BUCKET_BOUNDS_MS) else self.max_ms
+                if upper < lower:
+                    upper = lower
+                fraction = (rank - previous) / bucket_count
+                # Interpolating toward the bucket bound can overshoot the
+                # largest sample actually seen; the true value never does.
+                return min(lower + (upper - lower) * fraction, self.max_ms)
+        return self.max_ms
+
+    def as_dict(self) -> Dict[str, float]:
+        mean = self.total_ms / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "mean_ms": round(mean, 3),
+            "p50_ms": round(self.percentile(50), 3),
+            "p90_ms": round(self.percentile(90), 3),
+            "p99_ms": round(self.percentile(99), 3),
+            "max_ms": round(self.max_ms, 3),
+        }
+
+
+class EndpointStats:
+    """Request count, error count and latency histogram of one endpoint."""
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.errors = 0
+        self.histogram = LatencyHistogram()
+
+    def record(self, seconds: float, status: int) -> None:
+        self.requests += 1
+        if status >= 400:
+            self.errors += 1
+        self.histogram.record(seconds)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "latency": self.histogram.as_dict(),
+        }
+
+
+class ServerTelemetry:
+    """Thread-safe registry of per-endpoint stats for ``/stats``."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._endpoints: Dict[str, EndpointStats] = {}
+        self.started_monotonic = time.monotonic()
+        self.started_unix = time.time()
+
+    def record(self, endpoint: str, seconds: float, status: int) -> None:
+        with self._lock:
+            stats = self._endpoints.get(endpoint)
+            if stats is None:
+                stats = self._endpoints[endpoint] = EndpointStats()
+            stats.record(seconds, status)
+
+    def endpoint(self, name: str) -> Optional[EndpointStats]:
+        with self._lock:
+            return self._endpoints.get(name)
+
+    @property
+    def total_requests(self) -> int:
+        with self._lock:
+            return sum(stats.requests for stats in self._endpoints.values())
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            endpoints = {
+                name: stats.as_dict() for name, stats in sorted(self._endpoints.items())
+            }
+        return {
+            "uptime_seconds": round(time.monotonic() - self.started_monotonic, 3),
+            "requests_total": sum(e["requests"] for e in endpoints.values()),
+            "endpoints": endpoints,
+        }

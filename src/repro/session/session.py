@@ -26,7 +26,11 @@ import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, List, Optional, TypeVar, Union
 
-from ..algorithms.shortest_paths import choose_landmarks
+from ..algorithms.shortest_paths import (
+    LandmarkMatrix,
+    build_landmark_matrix,
+    choose_landmarks,
+)
 from ..core.graph import Graph
 from ..core.io import PathLike
 from ..datasets.catalog import load_dataset
@@ -205,6 +209,7 @@ class Session:
         self._partitions = _KeyedCache()
         self._engine_ready = _KeyedCache()
         self._landmarks = _KeyedCache()
+        self._landmark_matrices = _KeyedCache()
         self._disk_lock = threading.Lock()
         self._disk_counters: Dict[str, int] = {
             "partition_hits": 0,
@@ -269,6 +274,7 @@ class Session:
             self._partitions.evict(lambda key: key[0] == name)
             self._engine_ready.evict(lambda key: key[0] == name)
             self._landmarks.evict(lambda key: key[0] == name)
+            self._landmark_matrices.evict(lambda key: key[0] == name)
             self._graphs.evict(lambda key: key[0] == name)
         self._registered[name] = graph
         return self
@@ -446,6 +452,42 @@ class Session:
 
         return self._landmarks.get(key, build)
 
+    def landmark_matrix(
+        self,
+        dataset: str,
+        partitioner: str,
+        num_partitions: int,
+        count: int,
+        seed: Optional[int] = None,
+    ) -> LandmarkMatrix:
+        """Memoized landmark-distance matrix for one served placement.
+
+        The serving layer answers point-to-point distance queries from
+        this matrix (triangle-inequality estimates), so it is built once
+        per ``(placement, count, seed)`` — two Pregel sweeps — and shared
+        by every subsequent query and server worker.  Landmark *choices*
+        go through :meth:`landmarks` (and therefore the disk store); the
+        matrix itself is in-memory only, since rebuilding it from a
+        disk-rehydrated placement is exactly two engine runs.
+        """
+        chosen_seed = self.seed + 7 if seed is None else int(seed)
+        key = (
+            dataset,
+            canonical_partitioner_name(partitioner),
+            int(num_partitions),
+            int(count),
+            chosen_seed,
+        )
+
+        def build() -> LandmarkMatrix:
+            pgraph = self.partitioned(
+                dataset, partitioner, num_partitions, engine_ready=True
+            )
+            chosen = self.landmarks(dataset, count, seed=chosen_seed)
+            return build_landmark_matrix(pgraph, chosen)
+
+        return self._landmark_matrices.get(key, build)
+
     # ------------------------------------------------------------------
     # Plans and accounting
     # ------------------------------------------------------------------
@@ -492,6 +534,7 @@ class Session:
         self._partitions.clear()
         self._engine_ready.clear()
         self._landmarks.clear()
+        self._landmark_matrices.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -107,6 +107,51 @@ class TestParser:
                 build_parser().parse_args(args)
             assert excinfo.value.code == 2
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.datasets == ["youtube"]
+        assert args.partitioner == "Hybrid"
+        assert args.port == 8571
+        assert args.top_k == 10
+        assert args.batch_window_ms == 25
+        assert args.max_batch == 256
+        assert args.cache_dir is None
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--datasets", "youtube", "pokec",
+                "--partitioner", "hdrf", "--partitions", "32",
+                "--port", "0", "--batch-window-ms", "0",
+                "--top-k", "25", "--cache-dir", "/tmp/store",
+            ]
+        )
+        assert args.datasets == ["youtube", "pokec"]
+        assert args.partitioner == "HDRF"  # case-insensitive canonicalisation
+        assert args.port == 0  # 0 = ephemeral port is allowed
+        assert args.batch_window_ms == 0  # 0 = flush every tick is allowed
+        assert args.top_k == 25
+        assert args.cache_dir == "/tmp/store"
+
+    def test_serve_invalid_flags_rejected(self):
+        for flags in (
+            ["serve", "--port", "65536"],
+            ["serve", "--port", "-1"],
+            ["serve", "--port", "http"],
+            ["serve", "--top-k", "0"],
+            ["serve", "--batch-window-ms", "-5"],
+            ["serve", "--batch-window-ms", "fast"],
+            ["serve", "--max-batch", "0"],
+            ["serve", "--partitions", "0"],
+            ["serve", "--landmarks", "0"],
+            ["serve", "--iterations", "-1"],
+            ["serve", "--partitioner", "metis"],
+        ):
+            with pytest.raises(SystemExit) as excinfo:
+                build_parser().parse_args(flags)
+            assert excinfo.value.code == 2
+
     def test_sweep_defaults(self):
         args = build_parser().parse_args(["sweep"])
         assert args.command == "sweep"
@@ -203,6 +248,16 @@ class TestCommands:
         captured = capsys.readouterr()
         assert exit_code == 2
         assert captured.err.startswith("repro: error:")
+
+    def test_serve_unknown_dataset_reports_one_line_error(self, capsys):
+        # The catalog check fires before any graph is loaded or any socket
+        # is bound, so a typo fails fast through the one-line error path.
+        exit_code = main(["--scale", "0.05", "serve", "--datasets", "nosuch"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert captured.err.startswith("repro: error:")
+        assert "nosuch" in captured.err
+        assert captured.err.count("\n") == 1
 
     def test_metrics_prints_partitioners(self, capsys):
         exit_code = main(

@@ -85,6 +85,18 @@ class TestSessionCaching:
         assert first is second
         assert len(first) == 3
 
+    def test_landmark_matrix_is_memoized_and_consistent(self, session):
+        first = session.landmark_matrix("youtube", "2D", 4, count=3)
+        second = session.landmark_matrix("youtube", "2D", 4, count=3)
+        assert first is second
+        # Built over the same landmark choices the session hands out.
+        assert list(first.landmarks) == list(
+            session.landmarks("youtube", 3, seed=session.seed + 7)
+        )
+        # A different seed is a different matrix.
+        other = session.landmark_matrix("youtube", "2D", 4, count=3, seed=99)
+        assert other is not first
+
     def test_registering_a_different_graph_evicts_its_placements(
         self, small_social_graph, small_road_graph
     ):
