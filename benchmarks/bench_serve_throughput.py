@@ -9,7 +9,10 @@ query kind, and runs a dedicated *coalescing probe* — a wave of
 concurrent exact-distance requests with distinct sources — whose batch
 count, read back from ``/stats``, must come in below the source count:
 proof that the tick-window batcher collapsed them into shared
-multi-source sweeps.
+multi-source sweeps.  The final ``/stats`` snapshot's ``engine`` section
+(configured workers, live shared-memory segments, parallel superstep
+fraction) is echoed into the report; pass ``--engine-workers N`` to run
+the daemon's Pregel supersteps on the shared-memory pool.
 
 Like ``bench_store_resume.py`` this is a plain script so CI can exercise
 it cheaply::
@@ -70,6 +73,8 @@ def start_server(args) -> Tuple[subprocess.Popen, str, int]:
         "--batch-window-ms", str(args.batch_window_ms),
         "--landmarks", str(args.landmarks),
     ]
+    if args.engine_workers:
+        command += ["--engine-workers", str(args.engine_workers)]
     proc = subprocess.Popen(
         command, env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True
     )
@@ -230,6 +235,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--partitions", type=int, default=16)
     parser.add_argument("--landmarks", type=int, default=4)
     parser.add_argument("--batch-window-ms", type=int, default=10)
+    parser.add_argument(
+        "--engine-workers", type=int, default=None,
+        help="shared-memory Pregel workers for the daemon's engine runs",
+    )
     parser.add_argument("--concurrency", type=int, default=None, help="concurrent connections")
     parser.add_argument("--requests", type=int, default=None, help="total queries to issue")
     parser.add_argument("--json-out", default=None, help="also write the report to this file")
@@ -313,6 +322,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "server": {
             "returncode": returncode,
             "engine_runs": stats["engine_runs"],
+            "engine": stats["engine"],
             "batcher": stats["batcher"],
             "query_cache": stats["query_cache"],
         },

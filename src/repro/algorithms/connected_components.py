@@ -64,6 +64,7 @@ def connected_components(
     cluster: Optional[ClusterConfig] = None,
     cost_parameters: Optional[CostParameters] = None,
     vectorized: bool = True,
+    parallel_workers: Optional[int] = None,
 ) -> AlgorithmResult:
     """Label every vertex with the smallest vertex id of its weak component.
 
@@ -106,6 +107,7 @@ def connected_components(
         edge_compute_units=_EDGE_UNITS,
         vertex_compute_units=_VERTEX_UNITS,
         message_kernel=ConnectedComponentsKernel() if vectorized else None,
+        parallel_workers=parallel_workers,
     )
 
     return AlgorithmResult(

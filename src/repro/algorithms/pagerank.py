@@ -85,13 +85,16 @@ def pagerank(
     cluster: Optional[ClusterConfig] = None,
     cost_parameters: Optional[CostParameters] = None,
     vectorized: bool = True,
+    parallel_workers: Optional[int] = None,
 ) -> AlgorithmResult:
     """Run static PageRank for ``num_iterations`` supersteps.
 
     Returns an :class:`AlgorithmResult` whose ``vertex_values`` map each
     vertex to its (unnormalised) rank.  ``vectorized`` selects the engine's
     array-native superstep path (bit-identical results; the scalar loop is
-    kept as the reference semantics).
+    kept as the reference semantics), and ``parallel_workers >= 2`` fans the
+    vectorized supersteps out across a shared-memory process pool — again
+    bit-identical (see :mod:`repro.engine.parallel`).
     """
     if num_iterations < 1:
         raise EngineError("num_iterations must be >= 1")
@@ -136,6 +139,7 @@ def pagerank(
         always_active=True,
         default_message=0.0,
         message_kernel=PageRankKernel(reset_prob) if vectorized else None,
+        parallel_workers=parallel_workers,
     )
 
     ranks = {vertex: value[0] for vertex, value in result.vertex_values.items()}

@@ -88,12 +88,16 @@ def run_algorithm(
     cluster: Optional[ClusterConfig] = None,
     cost_parameters: Optional[CostParameters] = None,
     backend: Optional[str] = None,
+    engine_workers: Optional[int] = None,
 ) -> AlgorithmResult:
     """Run one of the paper's algorithms by abbreviation (PR, CC, TR, SSSP).
 
     ``backend`` picks the execution strategy (``"reference"`` by default;
     see :mod:`repro.backends` for the registry).  The backend layer stamps
     every result with its name and measured wall-clock time.
+    ``engine_workers >= 2`` fans the reference backend's Pregel supersteps
+    out across a shared-memory process pool (bit-identical results; TR and
+    non-Pregel backends ignore it).
     """
     from ..backends import get_backend
 
@@ -105,6 +109,7 @@ def run_algorithm(
         landmark_seed=landmark_seed,
         cluster=cluster,
         cost_parameters=cost_parameters,
+        engine_workers=engine_workers,
     )
 
 
@@ -116,8 +121,13 @@ def run_reference_algorithm(
     landmark_seed: int = 7,
     cluster: Optional[ClusterConfig] = None,
     cost_parameters: Optional[CostParameters] = None,
+    engine_workers: Optional[int] = None,
 ) -> AlgorithmResult:
-    """The simulator execution path behind the ``reference`` backend."""
+    """The simulator execution path behind the ``reference`` backend.
+
+    ``engine_workers`` is forwarded to the Pregel-based algorithms (PR, CC,
+    SSSP); triangle counting's aggregate phases stay serial.
+    """
     key = name.upper()
     if key == "PR":
         return pagerank(
@@ -125,6 +135,7 @@ def run_reference_algorithm(
             num_iterations=num_iterations,
             cluster=cluster,
             cost_parameters=cost_parameters,
+            parallel_workers=engine_workers,
         )
     if key == "CC":
         return connected_components(
@@ -132,6 +143,7 @@ def run_reference_algorithm(
             max_iterations=num_iterations,
             cluster=cluster,
             cost_parameters=cost_parameters,
+            parallel_workers=engine_workers,
         )
     if key == "TR":
         return triangle_count(pgraph, cluster=cluster, cost_parameters=cost_parameters)
@@ -142,5 +154,6 @@ def run_reference_algorithm(
             landmarks=chosen,
             cluster=cluster,
             cost_parameters=cost_parameters,
+            parallel_workers=engine_workers,
         )
     raise EngineError(f"unknown algorithm {name!r}; expected one of {ALGORITHM_NAMES}")

@@ -127,6 +127,7 @@ def shortest_paths(
     cluster: Optional[ClusterConfig] = None,
     cost_parameters: Optional[CostParameters] = None,
     vectorized: bool = True,
+    parallel_workers: Optional[int] = None,
 ) -> AlgorithmResult:
     """Compute hop distances from every vertex to each landmark it can reach."""
     landmark_list = [int(v) for v in landmarks]
@@ -172,6 +173,7 @@ def shortest_paths(
         edge_compute_units=_EDGE_UNITS,
         vertex_compute_units=_VERTEX_UNITS,
         message_kernel=ShortestPathsKernel(landmark_list) if vectorized else None,
+        parallel_workers=parallel_workers,
     )
 
     return AlgorithmResult(
@@ -189,6 +191,7 @@ def multi_source_distances(
     cluster: Optional[ClusterConfig] = None,
     cost_parameters: Optional[CostParameters] = None,
     vectorized: bool = True,
+    parallel_workers: Optional[int] = None,
 ) -> AlgorithmResult:
     """Hop distances *from* every source vertex, all in one Pregel run.
 
@@ -248,6 +251,7 @@ def multi_source_distances(
         edge_compute_units=_EDGE_UNITS,
         vertex_compute_units=_VERTEX_UNITS,
         message_kernel=MultiSourceShortestPathsKernel(source_list) if vectorized else None,
+        parallel_workers=parallel_workers,
     )
 
     return AlgorithmResult(

@@ -65,6 +65,10 @@ class ExperimentConfig:
     #: should keep the default; ``vectorized`` records wall-clock time
     #: instead of simulated seconds.
     backend: str = "reference"
+    #: Shared-memory Pregel workers per run (``None``/1 = serial).  Results
+    #: are bit-identical at any worker count; this is purely a wall-clock
+    #: knob for the reference backend's Pregel algorithms.
+    engine_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.num_partitions < 1:
@@ -73,6 +77,8 @@ class ExperimentConfig:
             raise AnalysisError("scale must be positive")
         if self.num_iterations < 1:
             raise AnalysisError("num_iterations must be >= 1")
+        if self.engine_workers is not None and int(self.engine_workers) < 1:
+            raise AnalysisError("engine_workers must be >= 1")
         # Strategy names are case-insensitive everywhere they are parsed;
         # records and tables always carry the canonical registry spelling.
         self.partitioners = [canonical_partitioner_name(name) for name in self.partitioners]
@@ -170,6 +176,7 @@ def run_algorithm_study(
         .landmarks(config.landmark_count, seed=config.seed + 7)
         .cluster(config.cluster or paper_cluster())
         .cost_parameters(config.cost_parameters)
+        .engine_workers(config.engine_workers)
     )
     return list(plan.run())
 

@@ -65,12 +65,16 @@ class Backend(ABC):
         landmark_seed: int = 7,
         cluster: Optional[ClusterConfig] = None,
         cost_parameters: Optional[CostParameters] = None,
+        engine_workers: Optional[int] = None,
     ) -> AlgorithmResult:
         """Run one algorithm by abbreviation and return its timed result.
 
         Backends that do not simulate a cluster accept (and ignore)
         ``cluster`` / ``cost_parameters`` so callers can switch backends
-        without changing call sites.
+        without changing call sites.  Likewise ``engine_workers``: the
+        partition-aware Pregel backends fan supersteps out across a
+        shared-memory process pool when it is >= 2, other backends ignore
+        it (results are identical either way).
         """
         started = time.perf_counter()
         result = self._run(
@@ -81,6 +85,7 @@ class Backend(ABC):
             landmark_seed=landmark_seed,
             cluster=cluster,
             cost_parameters=cost_parameters,
+            engine_workers=engine_workers,
         )
         result.wall_seconds = time.perf_counter() - started
         result.backend = self.name
@@ -104,6 +109,7 @@ class Backend(ABC):
         landmark_seed: int = 7,
         cluster: Optional[ClusterConfig] = None,
         cost_parameters: Optional[CostParameters] = None,
+        engine_workers: Optional[int] = None,
     ) -> AlgorithmResult:
         """Backend-specific execution behind :meth:`run`."""
 

@@ -46,6 +46,7 @@ class ReferenceBackend(Backend):
         landmark_seed: int = 7,
         cluster: Optional[ClusterConfig] = None,
         cost_parameters: Optional[CostParameters] = None,
+        engine_workers: Optional[int] = None,
     ) -> AlgorithmResult:
         from ..algorithms.registry import run_reference_algorithm
 
@@ -57,6 +58,7 @@ class ReferenceBackend(Backend):
             landmark_seed=landmark_seed,
             cluster=cluster,
             cost_parameters=cost_parameters,
+            engine_workers=engine_workers,
         )
 
     def _degrees(self, graph: GraphLike, direction: str = "out") -> AlgorithmResult:

@@ -217,6 +217,7 @@ class VectorizedBackend(Backend):
         landmark_seed: int = 7,
         cluster: Optional[ClusterConfig] = None,
         cost_parameters: Optional[CostParameters] = None,
+        engine_workers: Optional[int] = None,
     ) -> AlgorithmResult:
         plain = resolve_graph(graph)
         csr = plain.csr()

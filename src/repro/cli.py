@@ -189,6 +189,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=available_backends(),
         help="execution backend (reference = cost-model simulator)",
     )
+    run_parser.add_argument(
+        "--engine-workers",
+        type=_positive_int,
+        default=None,
+        help="shared-memory Pregel workers per run (default: serial); "
+        "results are bit-identical at any worker count",
+    )
 
     sweep_parser = subparsers.add_parser(
         "sweep",
@@ -258,6 +265,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip cells whose records are already in --cache-dir "
         "(requires --cache-dir; reuse is on by default when a cache "
         "directory is given — this flag makes it explicit)",
+    )
+    sweep_parser.add_argument(
+        "--engine-workers",
+        type=_positive_int,
+        default=None,
+        help="shared-memory Pregel workers within each cell (default: "
+        "serial); composes with --workers, which parallelises across cells",
     )
 
     cache_parser = subparsers.add_parser(
@@ -339,6 +353,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="flush a batch early once this many distinct sources are "
         "pending (default: 256)",
     )
+    serve_parser.add_argument(
+        "--engine-workers",
+        type=_positive_int,
+        default=None,
+        help="shared-memory Pregel workers for exact-SSSP batch sweeps and "
+        "lazy PageRank/component runs (default: serial)",
+    )
 
     advise_parser = subparsers.add_parser(
         "advise", help="recommend a partitioner", parents=[global_flags]
@@ -386,6 +407,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         num_iterations=args.iterations,
         backend=args.backend,
+        engine_workers=args.engine_workers,
         **config_kwargs,
     )
     records = run_algorithm_study(config)
@@ -441,6 +463,7 @@ def _build_sweep_plan(args: argparse.Namespace):
         .backends(args.backends)
         .iterations(args.iterations)
         .landmarks(SWEEP_LANDMARK_COUNT, seed=args.seed + 7)
+        .engine_workers(args.engine_workers)
     )
     if args.partitioners:
         plan.partitioners(args.partitioners)
@@ -523,6 +546,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         num_partitions=args.partitions,
         landmark_count=args.landmarks,
         pagerank_iterations=args.iterations,
+        engine_workers=args.engine_workers,
     )
     print(
         f"preloading {len(args.datasets)} dataset(s) with {args.partitioner} "

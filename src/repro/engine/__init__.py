@@ -4,9 +4,11 @@ from .cluster import STORAGE_BANDWIDTH_BYTES, ClusterConfig, paper_cluster
 from .cost_model import CostModel, CostParameters, SimulationReport, SuperstepRecord
 from .edge_partition import EdgePartition
 from .messaging import ArrayMessageKernel, TripletArrays
+from .parallel import ParallelPregelExecutor, engine_stats, parallel_supported
 from .partitioned_graph import PartitionedGraph
 from .pregel import PregelResult, aggregate_messages, pregel
 from .routing import RoutingTable
+from .shm_registry import ShmRegistry, shared_memory_available
 
 __all__ = [
     "ClusterConfig",
@@ -20,8 +22,13 @@ __all__ = [
     "EdgePartition",
     "PartitionedGraph",
     "TripletArrays",
+    "ParallelPregelExecutor",
     "PregelResult",
     "RoutingTable",
+    "ShmRegistry",
     "aggregate_messages",
+    "engine_stats",
+    "parallel_supported",
     "pregel",
+    "shared_memory_available",
 ]

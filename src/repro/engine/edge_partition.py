@@ -65,13 +65,17 @@ class EdgePartition:
         This is GraphX's ``EdgePartition`` encoding: triplets reference the
         partition-local vertex table, and the engine composes the local
         table with the global one.  Built once and cached; the arrays are
-        the vectorised counterpart of :meth:`edge_pairs`.
+        the vectorised counterpart of :meth:`edge_pairs` and are returned
+        read-only — every later superstep (and the shared-memory parallel
+        executor) folds over the same cached views, so a caller mutating
+        them would silently corrupt all subsequent results.
         """
         if self._local_triplets is None:
-            self._local_triplets = (
-                np.searchsorted(self.vertex_ids, self.src),
-                np.searchsorted(self.vertex_ids, self.dst),
-            )
+            local_src = np.searchsorted(self.vertex_ids, self.src)
+            local_dst = np.searchsorted(self.vertex_ids, self.dst)
+            local_src.flags.writeable = False
+            local_dst.flags.writeable = False
+            self._local_triplets = (local_src, local_dst)
         return self._local_triplets
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,0 +1,795 @@
+"""Shared-memory parallel Pregel: multi-core supersteps over attached partitions.
+
+PR 5 parallelised *across* grid cells; this module shards **one** Pregel
+run across a persistent :class:`~concurrent.futures.ProcessPoolExecutor`.
+Edge partitions are the unit of work, exactly as in the paper: the
+partition-major triplet arrays (built from every
+:class:`~repro.engine.edge_partition.EdgePartition`'s cached
+``local_triplets()``) and the membership-derived per-partition outbox
+offsets are published **once** into ``multiprocessing.shared_memory``
+segments through :class:`~repro.engine.shm_registry.ShmRegistry`, and
+worker processes *attach* zero-copy ``np.ndarray`` views instead of
+unpickling graph data per superstep.
+
+Each superstep runs two fan-out rounds:
+
+1. **scan + pass-1 fold** — every worker handles a set of partitions:
+   it masks the partition's triplets against the shared ``active`` array,
+   calls the kernel's ``send_message_array`` on them, left-folds the
+   messages into per-``(partition, target)`` outbox slots with
+   ``ufunc.at`` (the scalar outbox pre-aggregation) and writes the slot
+   targets/values into the partition's region of the shared outbox;
+2. **pass-2 merge** — the parent unions the slot targets, then workers
+   fold disjoint *target ranges* across all partitions in ascending
+   partition order (the scalar ``_route_and_merge`` master-side merge).
+
+Because a partition's slots are exactly the serial
+:func:`~repro.engine.messaging.plan_fold` slots restricted to that
+partition (the global slot order is partition-major) and both folds
+apply the same ``ufunc.at`` left folds in the same order, every merged
+message — and therefore every ``SuperstepRecord`` counter and final
+vertex value — is **bit-identical** to the serial array path.  The
+equivalence zoo in ``tests/test_pregel_array_equivalence.py`` asserts
+this across every registered partitioner at ``workers`` ∈ {1, 2, 4}.
+
+Supersteps whose active frontier is small run serially in the parent
+(dispatch latency would dominate); the results are identical either way
+and the parallel/serial split is surfaced via :func:`engine_stats` for
+``repro serve /stats``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import pickle
+import threading
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import EngineError
+from ..partitioning.membership import segment_arange
+from .messaging import (
+    ArrayMessageKernel,
+    active_edge_mask,
+    fold_messages,
+    plan_fold,
+    route_counts,
+)
+from .shm_registry import (
+    ShmRegistry,
+    attach_array,
+    set_attach_unregister,
+    shared_memory_available,
+)
+
+__all__ = [
+    "ParallelPregelExecutor",
+    "engine_stats",
+    "parallel_supported",
+    "pregel_array_parallel",
+    "reset_engine_stats",
+]
+
+#: Below this many active vertices a data-driven superstep runs serially in
+#: the parent — worker dispatch latency would exceed the superstep's work.
+#: ``always_active`` algorithms (full scans every superstep) always fan out.
+_DEFAULT_MIN_PARALLEL_ACTIVE = 2048
+
+#: Environment override for the threshold (tests set it to 0 so tiny zoo
+#: graphs still exercise the worker rounds).
+_MIN_ACTIVE_ENV = "REPRO_PARALLEL_MIN_ACTIVE"
+
+_SHM_PROBED: Optional[bool] = None
+
+_STATS_LOCK = threading.Lock()
+_STATS = {"runs": 0, "supersteps_parallel": 0, "supersteps_serial": 0}
+
+#: executor cache: PartitionedGraph -> {workers: executor}.  Weak keys so a
+#: collected graph tears its executor (pool + static segments) down with it.
+_EXECUTOR_CACHE: "weakref.WeakKeyDictionary[Any, Dict[int, ParallelPregelExecutor]]" = (
+    weakref.WeakKeyDictionary()
+)
+_EXECUTOR_CACHE_LOCK = threading.Lock()
+
+_RUN_IDS = itertools.count(1)
+
+
+def parallel_supported() -> bool:
+    """Whether this platform can run shared-memory parallel supersteps."""
+    global _SHM_PROBED
+    if _SHM_PROBED is None:
+        _SHM_PROBED = shared_memory_available()
+    return _SHM_PROBED
+
+
+def _min_parallel_active() -> int:
+    raw = os.environ.get(_MIN_ACTIVE_ENV)
+    if raw is None:
+        return _DEFAULT_MIN_PARALLEL_ACTIVE
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return _DEFAULT_MIN_PARALLEL_ACTIVE
+
+
+def reset_engine_stats() -> None:
+    """Zero the run/superstep counters (test isolation)."""
+    with _STATS_LOCK:
+        for key in _STATS:
+            _STATS[key] = 0
+
+
+def engine_stats() -> Dict[str, object]:
+    """Process-wide parallel-engine telemetry for ``/stats`` and benches."""
+    from .shm_registry import live_segment_stats
+
+    with _EXECUTOR_CACHE_LOCK:
+        executors = [
+            executor
+            for per_graph in _EXECUTOR_CACHE.values()
+            for executor in per_graph.values()
+            if not executor.closed
+        ]
+    segments, total_bytes = live_segment_stats()
+    with _STATS_LOCK:
+        snapshot = dict(_STATS)
+    total = snapshot["supersteps_parallel"] + snapshot["supersteps_serial"]
+    return {
+        "executors": len(executors),
+        "workers": sum(executor.workers for executor in executors),
+        "shared_memory": {"segments": segments, "bytes": total_bytes},
+        "runs": snapshot["runs"],
+        "supersteps": {
+            "parallel": snapshot["supersteps_parallel"],
+            "serial": snapshot["supersteps_serial"],
+            "parallel_fraction": (
+                round(snapshot["supersteps_parallel"] / total, 4) if total else 0.0
+            ),
+        },
+    }
+
+
+def _count_run(parallel_steps: int, serial_steps: int) -> None:
+    with _STATS_LOCK:
+        _STATS["runs"] += 1
+        _STATS["supersteps_parallel"] += parallel_steps
+        _STATS["supersteps_serial"] += serial_steps
+
+
+# ----------------------------------------------------------------------
+# Worker side.  Everything below the parent/worker line communicates via
+# shared-memory views; task arguments are limited to manifests (segment
+# names + small metadata) and per-superstep scalars.
+# ----------------------------------------------------------------------
+class _StaticContext:
+    """Worker-side attachment of one executor's immutable graph segments."""
+
+    def __init__(self, manifest: Dict[str, object]) -> None:
+        self.key = manifest["key"]
+        self._handles = []
+        for name in ("src", "dst", "master_of"):
+            shm, view = attach_array(manifest[name])
+            view.flags.writeable = False
+            self._handles.append(shm)
+            setattr(self, name, view)
+        self.edge_bounds = np.asarray(manifest["edge_bounds"], dtype=np.int64)
+        self.outbox_offsets = np.asarray(manifest["outbox_offsets"], dtype=np.int64)
+
+
+class _RunContext:
+    """Worker-side attachment of one run's mutable segments + kernel."""
+
+    def __init__(self, manifest: Dict[str, object]) -> None:
+        self.run_id = manifest["run_id"]
+        self._handles = []
+        kernel_shm, kernel_buf = attach_array(manifest["kernel"])
+        self._handles.append(kernel_shm)
+        self.kernel = pickle.loads(kernel_buf.tobytes())
+        for name in ("state", "active", "out_targets", "out_values", "targets", "merged"):
+            shm, view = attach_array(manifest[name])
+            self._handles.append(shm)
+            setattr(self, name, view)
+        self.always_active = bool(manifest["always_active"])
+        self.active_direction = str(manifest["active_direction"])
+        self.executor_of = np.asarray(manifest["executor_of"], dtype=np.int64)
+        # pid -> (unique inverse, slot count): the superstep-invariant fold
+        # structure of static-message-structure kernels (PageRank).
+        self.fold_cache: Dict[int, Tuple[np.ndarray, int]] = {}
+
+
+#: Per-worker caches (size 1: a worker pool belongs to one executor, and
+#: the executor serialises runs).  Keyed so a stale entry is replaced.
+_worker_static: Dict[object, _StaticContext] = {}
+_worker_runs: Dict[object, _RunContext] = {}
+
+
+def _worker_init(start_method: str) -> None:
+    """Pool initializer: tune tracker behaviour to the start method."""
+    set_attach_unregister(start_method != "fork")
+
+
+def _static_context(manifest: Dict[str, object]) -> _StaticContext:
+    context = _worker_static.get(manifest["key"])
+    if context is None:
+        _worker_static.clear()
+        context = _StaticContext(manifest)
+        _worker_static[manifest["key"]] = context
+    return context
+
+
+def _run_context(manifest: Dict[str, object]) -> _RunContext:
+    context = _worker_runs.get(manifest["run_id"])
+    if context is None:
+        _worker_runs.clear()
+        context = _RunContext(manifest)
+        _worker_runs[manifest["run_id"]] = context
+    return context
+
+
+def _worker_scan_fold(
+    static_manifest: Dict[str, object],
+    run_manifest: Dict[str, object],
+    pids: Sequence[int],
+    cache_structure: bool,
+    need_route: bool,
+) -> Tuple[np.ndarray, np.ndarray, int, int]:
+    """Round 1 for a set of partitions: scan, send, pass-1 fold, write outbox.
+
+    Returns ``(slot_counts, scanned_counts, remote, local)`` aligned with
+    ``pids``; the routing counters are only computed when ``need_route``
+    (the parent caches them for static message structures).
+    """
+    static = _static_context(static_manifest)
+    run = _run_context(run_manifest)
+    kernel = run.kernel
+    slot_counts = np.zeros(len(pids), dtype=np.int64)
+    scanned_counts = np.zeros(len(pids), dtype=np.int64)
+    remote = 0
+    local = 0
+    for i, pid in enumerate(pids):
+        begin = int(static.edge_bounds[pid])
+        end = int(static.edge_bounds[pid + 1])
+        src = static.src[begin:end]
+        dst = static.dst[begin:end]
+        if run.always_active:
+            scanned_src, scanned_dst = src, dst
+            scanned_counts[i] = end - begin
+        else:
+            picked = np.flatnonzero(
+                active_edge_mask(run.active, src, dst, run.active_direction)
+            )
+            scanned_src, scanned_dst = src[picked], dst[picked]
+            scanned_counts[i] = picked.size
+        _, target_idx, messages = kernel.send_message_array(
+            scanned_src, scanned_dst, run.state
+        )
+        offset = int(static.outbox_offsets[pid])
+        capacity = int(static.outbox_offsets[pid + 1]) - offset
+        cached = run.fold_cache.get(pid) if cache_structure else None
+        if cached is None:
+            slot_targets, inverse = np.unique(target_idx, return_inverse=True)
+            num_slots = int(slot_targets.size)
+            if num_slots > capacity:  # pragma: no cover - membership invariant
+                raise EngineError(
+                    f"partition {pid} produced {num_slots} outbox slots but its "
+                    f"mirror set only holds {capacity} vertices"
+                )
+            run.out_targets[offset:offset + num_slots] = slot_targets
+            if cache_structure:
+                run.fold_cache[pid] = (inverse, num_slots)
+        else:
+            inverse, num_slots = cached
+        outbox = kernel.identity_array(num_slots)
+        kernel.merge_ufunc.at(outbox, inverse, messages)
+        run.out_values[offset:offset + num_slots] = outbox
+        slot_counts[i] = num_slots
+        if need_route and num_slots:
+            # Mirrors messaging.route_counts for the slots of this partition
+            # (slot_pid is constant here, so the masks collapse to scalars).
+            masters = static.master_of[run.out_targets[offset:offset + num_slots]]
+            shipped = masters != pid
+            if shipped.any():
+                crossed = int(
+                    (run.executor_of[pid] != run.executor_of[masters[shipped]]).sum()
+                )
+                remote += crossed
+                local += int(shipped.sum()) - crossed
+    return slot_counts, scanned_counts, remote, local
+
+
+def _worker_merge(
+    static_manifest: Dict[str, object],
+    run_manifest: Dict[str, object],
+    slot_counts: np.ndarray,
+    lo: int,
+    hi: int,
+    num_targets: int,
+) -> int:
+    """Round 2 for the target range ``[lo, hi)``: pass-2 fold across partitions.
+
+    Folds every partition's slot aggregates for the range's targets in
+    ascending partition order — the scalar master-side merge order — and
+    writes the merged rows into the shared ``merged`` buffer.
+    """
+    static = _static_context(static_manifest)
+    run = _run_context(run_manifest)
+    kernel = run.kernel
+    span = run.targets[lo:hi]
+    merged = kernel.identity_array(hi - lo)
+    first, last = span[0], span[-1]
+    num_partitions = static.outbox_offsets.size - 1
+    for pid in range(num_partitions):
+        count = int(slot_counts[pid])
+        if not count:
+            continue
+        offset = int(static.outbox_offsets[pid])
+        slot_targets = run.out_targets[offset:offset + count]
+        a = int(np.searchsorted(slot_targets, first, side="left"))
+        b = int(np.searchsorted(slot_targets, last, side="right"))
+        if a == b:
+            continue
+        local_idx = np.searchsorted(span, slot_targets[a:b])
+        kernel.merge_ufunc.at(merged, local_idx, run.out_values[offset + a:offset + b])
+    run.merged[lo:hi] = merged
+    return hi - lo
+
+
+# ----------------------------------------------------------------------
+# Parent side.
+# ----------------------------------------------------------------------
+def _assign_partition_chunks(edge_counts: np.ndarray, workers: int) -> List[List[int]]:
+    """Greedy LPT assignment of partitions to ``workers`` round-1 tasks."""
+    order = np.argsort(edge_counts, kind="stable")[::-1]
+    num_bins = max(1, min(workers, int(edge_counts.size)))
+    bins: List[List[int]] = [[] for _ in range(num_bins)]
+    loads = [0] * num_bins
+    for pid in order.tolist():
+        target = loads.index(min(loads))
+        bins[target].append(int(pid))
+        loads[target] += int(edge_counts[pid]) + 1
+    return [chunk for chunk in bins if chunk]
+
+
+def _target_ranges(num_targets: int, workers: int) -> List[Tuple[int, int]]:
+    """Split ``[0, num_targets)`` into up to ``workers`` contiguous ranges."""
+    num_ranges = max(1, min(workers, num_targets))
+    edges = [int(round(num_targets * i / num_ranges)) for i in range(num_ranges + 1)]
+    return [(a, b) for a, b in zip(edges, edges[1:]) if b > a]
+
+
+class ParallelPregelExecutor:
+    """A persistent worker pool attached to one graph's shared segments.
+
+    Created once per :class:`~repro.engine.partitioned_graph.PartitionedGraph`
+    (see :meth:`for_graph`) and reused across runs and algorithms: the
+    triplet/membership segments are published at construction, every run
+    only creates its small mutable segments (state, active mask, outbox,
+    merge buffers).  Runs are serialised with a lock so concurrent serve
+    threads share the pool safely.
+    """
+
+    def __init__(self, pgraph, workers: int) -> None:
+        if int(workers) < 1:
+            raise EngineError(f"parallel workers must be >= 1, got {workers!r}")
+        trip = pgraph.triplets()
+        if trip.num_edges == 0 or trip.num_vertices == 0:
+            raise EngineError("parallel execution requires a non-empty graph")
+        self.workers = int(workers)
+        self.num_partitions = trip.num_partitions
+        self.num_vertices = trip.num_vertices
+        self.num_edges = trip.num_edges
+        membership = pgraph.assignment.membership()
+        per_partition = membership.vertices_per_partition()
+        self.outbox_offsets = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(per_partition, dtype=np.int64)]
+        )
+        self.outbox_capacity = int(self.outbox_offsets[-1])
+        self.edge_bounds = np.searchsorted(
+            trip.edge_pid, np.arange(self.num_partitions + 1)
+        ).astype(np.int64)
+        edge_counts = np.diff(self.edge_bounds)
+        self._chunks = _assign_partition_chunks(edge_counts, self.workers)
+
+        self._static = ShmRegistry(label="graph")
+        self._static.publish_array("src", trip.src)
+        self._static.publish_array("dst", trip.dst)
+        self._static.publish_array("master_of", trip.master_of)
+        self._static_manifest: Dict[str, object] = {
+            "key": f"{os.getpid()}-{id(self)}",
+            "src": self._static.entry("src"),
+            "dst": self._static.entry("dst"),
+            "master_of": self._static.entry("master_of"),
+            "edge_bounds": self.edge_bounds.tolist(),
+            "outbox_offsets": self.outbox_offsets.tolist(),
+        }
+
+        methods = multiprocessing.get_all_start_methods()
+        context = (
+            multiprocessing.get_context("fork")
+            if "fork" in methods
+            else multiprocessing.get_context()
+        )
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=context,
+            initializer=_worker_init,
+            initargs=(context.get_start_method(),),
+        )
+        self._run_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @classmethod
+    def for_graph(cls, pgraph, workers: int) -> "ParallelPregelExecutor":
+        """The cached executor of ``pgraph`` at this worker count.
+
+        The executor (pool + static segments) lives exactly as long as the
+        graph: a ``weakref.finalize`` tears it down when the graph is
+        collected, and the cache entry disappears with the weak key.
+        """
+        workers = int(workers)
+        with _EXECUTOR_CACHE_LOCK:
+            per_graph = _EXECUTOR_CACHE.get(pgraph)
+            if per_graph is None:
+                per_graph = {}
+                _EXECUTOR_CACHE[pgraph] = per_graph
+            executor = per_graph.get(workers)
+            if executor is None or executor.closed:
+                executor = cls(pgraph, workers)
+                per_graph[workers] = executor
+                weakref.finalize(pgraph, executor.close)
+            return executor
+
+    def close(self) -> None:
+        """Shut the pool down and unlink the static segments.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
+        self._static.close()
+
+    def __enter__(self) -> "ParallelPregelExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return None
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        pgraph,
+        initial_values: Dict[int, Any],
+        kernel: ArrayMessageKernel,
+        *,
+        max_iterations: int,
+        active_direction: str,
+        cluster,
+        model,
+        report,
+        edge_compute_units: float,
+        vertex_compute_units: float,
+        always_active: bool,
+    ):
+        """Run one kernelised Pregel computation on the attached graph.
+
+        Same contract (and bit-identical output) as the serial
+        ``_pregel_array`` loop; see the module docstring for the argument.
+        """
+        if self._closed:
+            raise EngineError("executor is closed")
+        with self._run_lock:
+            return self._run_locked(
+                pgraph,
+                initial_values,
+                kernel,
+                max_iterations=max_iterations,
+                active_direction=active_direction,
+                cluster=cluster,
+                model=model,
+                report=report,
+                edge_compute_units=edge_compute_units,
+                vertex_compute_units=vertex_compute_units,
+                always_active=always_active,
+            )
+
+    def _run_locked(
+        self,
+        pgraph,
+        initial_values,
+        kernel,
+        *,
+        max_iterations,
+        active_direction,
+        cluster,
+        model,
+        report,
+        edge_compute_units,
+        vertex_compute_units,
+        always_active,
+    ):
+        # Imported here (not at module top) to avoid a circular import:
+        # pregel.py pulls this module in lazily for dispatch.
+        from .pregel import _MESSAGE_SERIALIZE_UNITS, PregelResult, _broadcast_updates
+
+        trip = pgraph.triplets()
+        num_vertices = trip.num_vertices
+        num_partitions = trip.num_partitions
+        master_of = trip.master_of
+        executor_of = cluster.executor_map(num_partitions)
+        vertex_units_per_master = (
+            np.bincount(master_of, minlength=num_partitions) * vertex_compute_units
+        )
+        min_active = _min_parallel_active()
+        static_structure = always_active and kernel.static_message_structure
+
+        # ``encode`` may set kernel-side state (PageRank's degrees), so the
+        # kernel is pickled for the workers only afterwards.
+        initial_state = kernel.encode(trip.vertex_ids, initial_values)
+        width = kernel.message_width
+        message_shape = (
+            (self.outbox_capacity,) if width is None else (self.outbox_capacity, width)
+        )
+        merged_shape = (num_vertices,) if width is None else (num_vertices, width)
+
+        parallel_steps = 0
+        serial_steps = 0
+        registry = ShmRegistry(label="pregel-run")
+        try:
+            state = registry.create_array("state", initial_state.shape, initial_state.dtype)
+            state[...] = initial_state
+            active = registry.create_array("active", (num_vertices,), np.bool_)
+            registry.create_array("out_targets", (self.outbox_capacity,), np.int64)
+            registry.create_array("out_values", message_shape, kernel.message_dtype)
+            targets_buffer = registry.create_array("targets", (num_vertices,), np.int64)
+            merged_buffer = registry.create_array("merged", merged_shape, kernel.message_dtype)
+            registry.publish_bytes("kernel", pickle.dumps(kernel))
+            out_targets = registry.array("out_targets")
+            run_manifest: Dict[str, object] = {
+                "run_id": f"{os.getpid()}-{next(_RUN_IDS)}",
+                "always_active": always_active,
+                "active_direction": active_direction,
+                "executor_of": executor_of.tolist(),
+            }
+            for key in ("kernel", "state", "active", "out_targets", "out_values", "targets", "merged"):
+                run_manifest[key] = registry.entry(key)
+
+            # ----------------------------------------------------------
+            # Superstep 0 (parent only): vertex program everywhere.
+            # ----------------------------------------------------------
+            partition_units = np.zeros(num_partitions, dtype=np.float64)
+            result = kernel.initial_program(state)
+            if result is not state:
+                state[...] = result
+            partition_units += vertex_units_per_master
+            sync_remote, sync_local = _broadcast_updates(
+                pgraph, cluster, trip.vertex_ids, partition_units
+            )
+            model.record_superstep(
+                report,
+                superstep=0,
+                partition_units=partition_units,
+                messages_remote=sync_remote,
+                messages_local=sync_local,
+                active_vertices=num_vertices,
+                edges_scanned=0,
+            )
+
+            active[...] = True
+            active_count = num_vertices
+            supersteps = 0
+
+            if always_active:
+                all_edge_units = (
+                    np.bincount(trip.edge_pid, minlength=num_partitions)
+                    * edge_compute_units
+                )
+                all_sync_units = np.zeros(num_partitions, dtype=np.float64)
+                all_sync_remote, all_sync_local = _broadcast_updates(
+                    pgraph, cluster, trip.vertex_ids, all_sync_units
+                )
+            cached_targets = None
+            cached_slot_counts = None
+            cached_serialize_units = None
+            cached_shuffle = None
+
+            # ----------------------------------------------------------
+            # Message-exchange supersteps.
+            # ----------------------------------------------------------
+            while active.any() and supersteps < max_iterations:
+                supersteps += 1
+                partition_units = np.zeros(num_partitions, dtype=np.float64)
+                fan_out = always_active or active_count >= min_active
+
+                if fan_out:
+                    parallel_steps += 1
+                    need_route = cached_shuffle is None
+                    futures = [
+                        self._pool.submit(
+                            _worker_scan_fold,
+                            self._static_manifest,
+                            run_manifest,
+                            chunk,
+                            static_structure,
+                            need_route,
+                        )
+                        for chunk in self._chunks
+                    ]
+                    slot_counts = np.zeros(num_partitions, dtype=np.int64)
+                    scanned_counts = np.zeros(num_partitions, dtype=np.int64)
+                    shuffle_remote = 0
+                    shuffle_local = 0
+                    for chunk, future in zip(self._chunks, futures):
+                        counts, scanned, remote, local = future.result()
+                        slot_counts[chunk] = counts
+                        scanned_counts[chunk] = scanned
+                        shuffle_remote += remote
+                        shuffle_local += local
+                    edges_scanned = int(scanned_counts.sum())
+                    if always_active:
+                        partition_units += all_edge_units
+                    else:
+                        partition_units += scanned_counts * edge_compute_units
+                    if cached_shuffle is not None:
+                        partition_units += cached_serialize_units
+                        shuffle_remote, shuffle_local = cached_shuffle
+                        target_idx = cached_targets
+                        slot_counts = cached_slot_counts
+                    else:
+                        serialize_units = slot_counts * _MESSAGE_SERIALIZE_UNITS
+                        partition_units += serialize_units
+                        used = segment_arange(self.outbox_offsets[:-1], slot_counts)
+                        target_idx = np.unique(out_targets[used])
+                        if static_structure:
+                            cached_serialize_units = serialize_units
+                            cached_shuffle = (shuffle_remote, shuffle_local)
+                            cached_targets = target_idx
+                            cached_slot_counts = slot_counts
+                    num_targets = int(target_idx.size)
+                    if num_targets:
+                        targets_buffer[:num_targets] = target_idx
+                        merge_futures = [
+                            self._pool.submit(
+                                _worker_merge,
+                                self._static_manifest,
+                                run_manifest,
+                                slot_counts,
+                                lo,
+                                hi,
+                                num_targets,
+                            )
+                            for lo, hi in _target_ranges(num_targets, self.workers)
+                        ]
+                        for future in merge_futures:
+                            future.result()
+                        merged = merged_buffer[:num_targets]
+                    else:
+                        merged = kernel.identity_array(0)
+                else:
+                    # Small frontier: run the serial array superstep in the
+                    # parent (identical results, no dispatch latency).
+                    serial_steps += 1
+                    scanned = np.flatnonzero(
+                        active_edge_mask(active, trip.src, trip.dst, active_direction)
+                    )
+                    edges_scanned = int(scanned.size)
+                    scanned_pid = trip.edge_pid[scanned]
+                    partition_units += (
+                        np.bincount(scanned_pid, minlength=num_partitions)
+                        * edge_compute_units
+                    )
+                    positions, msg_targets, messages = kernel.send_message_array(
+                        trip.src[scanned], trip.dst[scanned], state
+                    )
+                    plan = plan_fold(scanned_pid[positions], msg_targets, num_vertices)
+                    partition_units += (
+                        np.bincount(plan.slot_pid, minlength=num_partitions)
+                        * _MESSAGE_SERIALIZE_UNITS
+                    )
+                    shuffle_remote, shuffle_local = route_counts(
+                        plan, master_of, executor_of
+                    )
+                    merged = fold_messages(kernel, plan, messages)
+                    target_idx = plan.target_idx
+                    num_targets = int(target_idx.size)
+
+                if not num_targets and not always_active:
+                    model.record_superstep(
+                        report,
+                        superstep=supersteps,
+                        partition_units=partition_units,
+                        messages_remote=shuffle_remote,
+                        messages_local=shuffle_local,
+                        active_vertices=0,
+                        edges_scanned=edges_scanned,
+                    )
+                    active[...] = False
+                    break
+
+                if always_active:
+                    result = kernel.apply_messages_all(state, target_idx, merged)
+                    if result is not state:
+                        state[...] = result
+                    partition_units += vertex_units_per_master
+                    partition_units += all_sync_units
+                    sync_remote, sync_local = all_sync_remote, all_sync_local
+                    num_updated = num_vertices
+                else:
+                    result = kernel.apply_messages(state, target_idx, merged)
+                    if result is not state:
+                        state[...] = result
+                    partition_units += (
+                        np.bincount(master_of[target_idx], minlength=num_partitions)
+                        * vertex_compute_units
+                    )
+                    num_updated = num_targets
+                    sync_remote, sync_local = _broadcast_updates(
+                        pgraph, cluster, trip.vertex_ids[target_idx], partition_units
+                    )
+                model.record_superstep(
+                    report,
+                    superstep=supersteps,
+                    partition_units=partition_units,
+                    messages_remote=shuffle_remote + sync_remote,
+                    messages_local=shuffle_local + sync_local,
+                    active_vertices=num_updated,
+                    edges_scanned=edges_scanned,
+                )
+                if not always_active:
+                    active[...] = False
+                    active[target_idx] = True
+                    active_count = num_targets
+
+            final_state = np.array(state, copy=True)
+        finally:
+            registry.close()
+        _count_run(parallel_steps, serial_steps)
+        return PregelResult(
+            vertex_values=kernel.decode(trip.vertex_ids, final_state),
+            num_supersteps=report.num_supersteps,
+            report=report,
+        )
+
+
+def pregel_array_parallel(
+    pgraph,
+    initial_values: Dict[int, Any],
+    kernel: ArrayMessageKernel,
+    *,
+    workers: int,
+    max_iterations: int,
+    active_direction: str,
+    cluster,
+    model,
+    report,
+    edge_compute_units: float,
+    vertex_compute_units: float,
+    always_active: bool,
+):
+    """Entry point of the parallel array path (called by :func:`pregel`)."""
+    executor = ParallelPregelExecutor.for_graph(pgraph, workers)
+    return executor.run(
+        pgraph,
+        initial_values,
+        kernel,
+        max_iterations=max_iterations,
+        active_direction=active_direction,
+        cluster=cluster,
+        model=model,
+        report=report,
+        edge_compute_units=edge_compute_units,
+        vertex_compute_units=vertex_compute_units,
+        always_active=always_active,
+    )

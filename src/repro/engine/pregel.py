@@ -166,6 +166,7 @@ def pregel(
     always_active: bool = False,
     default_message: Any = None,
     message_kernel: Optional[ArrayMessageKernel] = None,
+    parallel_workers: Optional[int] = None,
 ) -> PregelResult:
     """Run a Pregel computation on ``pgraph`` and simulate its execution time.
 
@@ -212,10 +213,22 @@ def pregel(
         partition triplet arrays, producing bit-identical vertex values and
         identical superstep counters to the scalar loop; the scalar loop
         remains the path for arbitrary Python payloads.
+    parallel_workers:
+        With a ``message_kernel`` and ``parallel_workers >= 2``, supersteps
+        fan out across a persistent process pool attached to shared-memory
+        copies of the partition triplets (see
+        :mod:`repro.engine.parallel`).  Results — vertex values and every
+        ``SuperstepRecord`` — are bit-identical to the serial kernel path.
+        ``None``/1 runs serially; the scalar path (no kernel) ignores it;
+        platforms without working shared memory fall back to serial.
     """
     _check_direction(active_direction)
     if max_iterations < 0:
         raise EngineError("max_iterations must be non-negative")
+    if parallel_workers is not None and int(parallel_workers) < 1:
+        raise EngineError(
+            f"parallel_workers must be >= 1, got {parallel_workers!r}"
+        )
     missing = [v for v in pgraph.graph.vertex_ids.tolist() if v not in initial_values]
     if missing:
         raise EngineError(
@@ -228,6 +241,29 @@ def pregel(
     report.load_seconds = model.load_seconds(pgraph.dataset_bytes)
 
     if message_kernel is not None:
+        workers = 1 if parallel_workers is None else int(parallel_workers)
+        if (
+            workers > 1
+            and pgraph.graph.num_edges > 0
+            and pgraph.graph.num_vertices > 0
+        ):
+            from .parallel import parallel_supported, pregel_array_parallel
+
+            if parallel_supported():
+                return pregel_array_parallel(
+                    pgraph,
+                    initial_values,
+                    message_kernel,
+                    workers=workers,
+                    max_iterations=max_iterations,
+                    active_direction=active_direction,
+                    cluster=cluster,
+                    model=model,
+                    report=report,
+                    edge_compute_units=edge_compute_units,
+                    vertex_compute_units=vertex_compute_units,
+                    always_active=always_active,
+                )
         return _pregel_array(
             pgraph,
             initial_values,

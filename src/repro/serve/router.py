@@ -239,6 +239,7 @@ class Router:
                     max_batch=self.batcher.max_batch,
                 ),
                 "engine_runs": self.service.engine_runs,
+                "engine": self.service.engine_summary(),
                 "session": self.service.session.stats.as_dict(),
             }
         )

@@ -49,9 +49,12 @@ class GraphService:
         landmark_seed: Optional[int] = None,
         pagerank_iterations: int = 10,
         cache: Optional[QueryCache] = None,
+        engine_workers: Optional[int] = None,
     ) -> None:
         if not datasets:
             raise EngineError("at least one dataset is required")
+        if engine_workers is not None and int(engine_workers) < 1:
+            raise EngineError("engine_workers must be >= 1")
         self.session = session
         self.datasets = [str(name) for name in datasets]
         self.partitioner = partitioner
@@ -59,6 +62,7 @@ class GraphService:
         self.landmark_count = int(landmark_count)
         self.landmark_seed = landmark_seed
         self.pagerank_iterations = int(pagerank_iterations)
+        self.engine_workers = None if engine_workers is None else int(engine_workers)
         self.cache = cache if cache is not None else QueryCache()
         self._pgraphs: Dict[str, PartitionedGraph] = {}
         self._matrices: Dict[str, LandmarkMatrix] = {}
@@ -92,6 +96,16 @@ class GraphService:
                 count=self.landmark_count,
                 seed=self.landmark_seed,
             )
+            if self.engine_workers is not None and self.engine_workers > 1:
+                # Publish the graph into the shared-memory registry now —
+                # the executor's worker pool forks here, on the main
+                # thread, before the server's event loop and batcher
+                # threads start, and every exact-SSSP batch sweep then
+                # attaches instead of paying first-query setup latency.
+                from ..engine.parallel import ParallelPregelExecutor, parallel_supported
+
+                if parallel_supported():
+                    ParallelPregelExecutor.for_graph(pgraph, self.engine_workers)
             with self._state_lock:
                 self._pgraphs[name] = pgraph
                 self._matrices[name] = matrix
@@ -180,6 +194,20 @@ class GraphService:
             }
         return out
 
+    def engine_summary(self) -> Dict[str, object]:
+        """Parallel-engine telemetry for the ``/stats`` payload.
+
+        Reports the configured worker count plus the process-wide
+        :func:`~repro.engine.parallel.engine_stats` snapshot (live
+        executors, shared-memory segments/bytes, and the fraction of
+        supersteps that actually fanned out).
+        """
+        from ..engine.parallel import engine_stats
+
+        summary = engine_stats()
+        summary["configured_workers"] = self.engine_workers or 1
+        return summary
+
     # ------------------------------------------------------------------
     # Distance queries
     # ------------------------------------------------------------------
@@ -222,7 +250,9 @@ class GraphService:
             valid = [s for s in sources if s in known]
             missing = [s for s in sources if s not in known]
             if valid:
-                sweep = multi_source_distances(pgraph, valid)
+                sweep = multi_source_distances(
+                    pgraph, valid, parallel_workers=self.engine_workers
+                )
                 self._count_engine_run()
                 per_source: Dict[int, Dict[int, int]] = {s: {} for s in valid}
                 for vertex, distances in sweep.vertex_values.items():
@@ -253,7 +283,9 @@ class GraphService:
             ranks = self._pagerank.get(dataset)
             if ranks is None:
                 result = pagerank(
-                    self.pgraph(dataset), num_iterations=self.pagerank_iterations
+                    self.pgraph(dataset),
+                    num_iterations=self.pagerank_iterations,
+                    parallel_workers=self.engine_workers,
                 )
                 self._count_engine_run()
                 ranks = self._pagerank[dataset] = result.vertex_values
@@ -272,7 +304,9 @@ class GraphService:
             if state is None:
                 pgraph = self.pgraph(dataset)
                 result = connected_components(
-                    pgraph, max_iterations=pgraph.graph.num_vertices + 1
+                    pgraph,
+                    max_iterations=pgraph.graph.num_vertices + 1,
+                    parallel_workers=self.engine_workers,
                 )
                 self._count_engine_run()
                 labels = {v: int(c) for v, c in result.vertex_values.items()}

@@ -167,6 +167,7 @@ class ExperimentPlan:
         self._landmark_seed: Optional[int] = None
         self._cluster: Optional[ClusterConfig] = session.cluster
         self._cost_parameters: Optional[CostParameters] = session.cost_parameters
+        self._engine_workers: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Grid axes
@@ -263,6 +264,22 @@ class ExperimentPlan:
     def cost_parameters(self, parameters: Optional[CostParameters]) -> "ExperimentPlan":
         """Cost-model calibration for reference-backend cells."""
         self._cost_parameters = parameters
+        return self
+
+    def engine_workers(self, workers: Optional[int]) -> "ExperimentPlan":
+        """Shared-memory Pregel workers per cell (``None``/1 = serial).
+
+        Fans each reference-backend Pregel run's supersteps across a
+        process pool (see :mod:`repro.engine.parallel`).  Results are
+        bit-identical at any worker count, so this is deliberately *not*
+        part of the record identity: cached records from serial runs
+        satisfy parallel plans and vice versa.  Composes with
+        ``run(workers=...)``: that parallelises across cells, this within
+        one.
+        """
+        if workers is not None and int(workers) < 1:
+            raise AnalysisError("engine_workers must be >= 1")
+        self._engine_workers = None if workers is None else int(workers)
         return self
 
     # ------------------------------------------------------------------
@@ -435,6 +452,7 @@ class ExperimentPlan:
             cost_parameters=self._cost_parameters,
             landmark_count=self._landmark_count,
             landmark_seed=self._landmark_seed,
+            engine_workers=self._engine_workers,
         )
         with ProcessPoolExecutor(max_workers=workers) as pool:
             outcomes = list(
@@ -524,6 +542,7 @@ class ExperimentPlan:
                 cluster=self._cluster,
                 cost_parameters=self._cost_parameters,
                 backend=cell.backend,
+                engine_workers=self._engine_workers,
             )
 
         if backend.uses_partitioning:
@@ -569,6 +588,7 @@ class _WorkerContext:
     cost_parameters: Optional[CostParameters]
     landmark_count: Optional[int]
     landmark_seed: Optional[int]
+    engine_workers: Optional[int] = None
 
 
 #: Per-process cache: one rebuilt (plan, oblivious-memo) pair per context,
@@ -592,6 +612,7 @@ def _worker_state(context: _WorkerContext) -> Tuple["ExperimentPlan", _KeyedCach
         plan._cost_parameters = context.cost_parameters
         plan._landmark_count = context.landmark_count
         plan._landmark_seed = context.landmark_seed
+        plan._engine_workers = context.engine_workers
         state = (plan, _KeyedCache())
         _WORKER_STATE[context] = state
     return state

@@ -7,12 +7,31 @@ live.
 
 from __future__ import annotations
 
+import gc
+import glob
+
 import pytest
 
 from repro.core.graph import Graph
 from repro.datasets.generators import ring_of_cliques, road_network, social_graph
 from repro.engine.cluster import ClusterConfig
 from repro.engine.partitioned_graph import PartitionedGraph
+
+
+@pytest.fixture(scope="session", autouse=True)
+def shared_memory_leak_guard():
+    """Fail the session if any test leaks a shared-memory segment.
+
+    Every segment the parallel Pregel stack creates is named with the
+    ``repro-shm`` prefix; once the graphs (and therefore their executors)
+    tested here are collected, nothing of ours may remain in /dev/shm.
+    """
+    yield
+    # Executors are torn down by weakref.finalize when their graph is
+    # collected; break any lingering reference cycles first.
+    gc.collect()
+    leaked = glob.glob("/dev/shm/repro-shm-*")
+    assert not leaked, f"leaked shared-memory segments: {leaked}"
 
 
 @pytest.fixture

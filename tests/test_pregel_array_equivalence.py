@@ -80,6 +80,57 @@ class TestArraySuperstepEquivalence:
         _assert_identical(run(False), run(True))
 
 
+def _parallel_runners(pgraph):
+    """One ``parallel_workers=...`` callable per Pregel algorithm."""
+    landmarks = _landmarks_of(pgraph.graph)
+    return {
+        "PR": lambda w: pagerank(pgraph, num_iterations=5, parallel_workers=w),
+        "CC": lambda w: connected_components(pgraph, parallel_workers=w),
+        "SSSP": lambda w: shortest_paths(pgraph, landmarks, parallel_workers=w),
+    }
+
+
+@pytest.mark.parametrize("name", ALL_PARTITIONERS)
+class TestParallelWorkersEquivalence:
+    """The shared-memory parallel executor vs the serial array path.
+
+    ``REPRO_PARALLEL_MIN_ACTIVE=0`` forces even these tiny graphs through
+    the worker fan-out (the production threshold would run them serially),
+    so the two-round fold really executes in the pool.  Bit-identity is
+    asserted the same way as for scalar-vs-array: exact vertex values and
+    ``SuperstepRecord`` equality at every worker count.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _force_parallel(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_MIN_ACTIVE", "0")
+
+    def test_identical_on_social_graph(self, name, small_social_graph):
+        pgraph = PartitionedGraph.partition(small_social_graph, name, 8)
+        for run in _parallel_runners(pgraph).values():
+            serial = run(None)
+            for workers in (1, 2, 4):
+                _assert_identical(serial, run(workers))
+
+    @pytest.mark.parametrize("label", list(_edge_case_graphs()))
+    def test_identical_on_edge_case_graphs(self, name, label):
+        graph = _edge_case_graphs()[label]
+        pgraph = PartitionedGraph.partition(graph, name, 5)
+        for run in _parallel_runners(pgraph).values():
+            serial = run(None)
+            for workers in (1, 2, 4):
+                _assert_identical(serial, run(workers))
+
+
+def test_parallel_identical_without_threshold_override(small_social_graph):
+    # No REPRO_PARALLEL_MIN_ACTIVE override: data-driven supersteps below
+    # the production threshold take the in-parent serial branch while
+    # always-active ones fan out — the mixed path must stay bit-identical.
+    pgraph = PartitionedGraph.partition(small_social_graph, "2D", 8)
+    for run in _parallel_runners(pgraph).values():
+        _assert_identical(run(None), run(2))
+
+
 @pytest.mark.parametrize("direction", ["out", "in", "both"])
 def test_degree_directions_identical(direction, small_social_graph):
     pgraph = PartitionedGraph.partition(small_social_graph, "2D", 8)
@@ -144,3 +195,22 @@ def test_edge_partition_caches_are_stable(small_social_graph):
     assert partition.local_triplets()[0] is local_src
     assert np.array_equal(partition.vertex_ids[local_src], partition.src)
     assert np.array_equal(partition.vertex_ids[local_dst], partition.dst)
+
+
+def test_local_triplets_are_read_only(small_social_graph):
+    # Regression: the cached local-triplet views are shared by every later
+    # superstep (and published into shared memory by the parallel
+    # executor), so a caller mutating them must fail loudly instead of
+    # silently corrupting subsequent runs.
+    pgraph = PartitionedGraph.partition(small_social_graph, "RVC", 4)
+    partition = pgraph.partitions[0]
+    local_src, local_dst = partition.local_triplets()
+    assert not local_src.flags.writeable
+    assert not local_dst.flags.writeable
+    with pytest.raises(ValueError):
+        local_src[0] = 99
+    with pytest.raises(ValueError):
+        local_dst[0] = 99
+    # edge_pairs() returns tuples — immutable by construction.
+    src_pairs, dst_pairs = partition.edge_pairs()
+    assert isinstance(src_pairs, tuple) and isinstance(dst_pairs, tuple)
