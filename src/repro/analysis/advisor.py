@@ -54,7 +54,7 @@ class Recommendation:
     metric: str
     granularity: str
     rationale: str
-    candidates: Dict[str, float] = None
+    candidates: Optional[Dict[str, float]] = None
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -9,7 +9,7 @@ a CI log, or the benchmark output without matplotlib.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import AnalysisError
 from .results import RunRecord
@@ -23,7 +23,7 @@ def ascii_scatter(
     points: Sequence[Tuple[float, float]],
     width: int = 64,
     height: int = 20,
-    labels: Sequence[str] = None,
+    labels: Optional[Sequence[str]] = None,
     x_label: str = "x",
     y_label: str = "y",
     log_x: bool = False,

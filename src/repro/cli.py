@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction.
 
-Provides seven sub-commands mirroring the evaluation workflow::
+Provides eight sub-commands mirroring the evaluation workflow::
 
     python -m repro.cli characterize                 # Table 1
     python -m repro.cli metrics --partitions 128     # Table 2 / 3
@@ -9,6 +9,7 @@ Provides seven sub-commands mirroring the evaluation workflow::
     python -m repro.cli advise --dataset orkut --algorithm PR
     python -m repro.cli cache info --cache-dir .repro-cache
     python -m repro.cli serve --datasets youtube --partitions 16
+    python -m repro.cli check --list-rules           # static analysis
 
 ``sweep`` is the grid front-end of the :mod:`repro.session` planner: it
 covers multi-algorithm x multi-granularity grids with one shared
@@ -27,7 +28,10 @@ choices and completed cells survive the process, so repeating — or
 resuming an interrupted — sweep re-runs only what is missing
 (``--resume`` makes that expectation explicit and fails without a cache
 directory).  ``cache`` inspects (``info``) or empties (``clear``) such a
-store.
+store.  ``check`` runs the project-native static analyser of
+:mod:`repro.devtools` — the REP rules encoding the engine's invariants —
+and exits 1 on any finding that is neither ``# repro: noqa[REP###]``
+suppressed nor grandfathered in a ``--baseline`` JSON file.
 
 All sub-commands accept ``--scale`` to shrink or grow the synthetic
 datasets and ``--seed`` for reproducibility; both global flags are valid
@@ -94,6 +98,19 @@ def _nonnegative_int(text: str) -> int:
     if value < 0:
         raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
     return value
+
+
+def _rule_ids(text: str) -> List[str]:
+    """argparse type: comma-separated REP rule ids ("rep001,REP004")."""
+    ids = [part.strip().upper() for part in text.split(",") if part.strip()]
+    if not ids:
+        raise argparse.ArgumentTypeError("expected at least one rule id")
+    for rule_id in ids:
+        if not (rule_id.startswith("REP") and rule_id[3:].isdigit()):
+            raise argparse.ArgumentTypeError(
+                f"rule ids look like REP001, got {rule_id!r}"
+            )
+    return ids
 
 
 def _port_number(text: str) -> int:
@@ -361,6 +378,55 @@ def build_parser() -> argparse.ArgumentParser:
         "lazy PageRank/component runs (default: serial)",
     )
 
+    check_parser = subparsers.add_parser(
+        "check",
+        help="run the project-native static analyser (REP rules)",
+        parents=[global_flags],
+    )
+    check_parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files/directories to check (default: src tests benchmarks "
+        "examples under the current directory)",
+    )
+    check_parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="findings output format (default: text)",
+    )
+    check_parser.add_argument(
+        "--baseline",
+        default=None,
+        help="JSON baseline of grandfathered findings; only findings not "
+        "in the baseline fail the check",
+    )
+    check_parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to --baseline and exit 0",
+    )
+    check_parser.add_argument(
+        "--rule",
+        action="append",
+        type=_rule_ids,
+        default=None,
+        help="restrict to specific rule ids; comma-separated and "
+        "repeatable (e.g. --rule REP001,REP004)",
+    )
+    check_parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the id/severity/description table of every rule and exit",
+    )
+    check_parser.add_argument(
+        "--output",
+        default=None,
+        help="also write the JSON findings document to this file "
+        "(CI artifact), independent of --format",
+    )
+
     advise_parser = subparsers.add_parser(
         "advise", help="recommend a partitioner", parents=[global_flags]
     )
@@ -578,6 +644,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    # Import here: the static analyser is irrelevant to every other
+    # sub-command (same pattern as the serve daemon).
+    from .devtools import run_check
+
+    # --rule is repeatable *and* comma-separated: flatten the lists.
+    if args.rule is not None:
+        args.rule = [rule_id for chunk in args.rule for rule_id in chunk]
+    return run_check(args)
+
+
 def _cmd_advise(args: argparse.Namespace) -> int:
     graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     if args.partitions:
@@ -625,6 +702,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "advise": _cmd_advise,
         "cache": _cmd_cache,
         "serve": _cmd_serve,
+        "check": _cmd_check,
     }
     try:
         return handlers[args.command](args)

@@ -1,0 +1,40 @@
+"""Project-native static analysis (``repro check``).
+
+The devtools package encodes the engine's hard-won invariants — typed
+``Optional`` defaults, unbuffered ``ufunc.at`` folds, ShmRegistry-mediated
+shared-memory lifecycle, non-blocking serve handlers, canonical-name
+lookups — as enforceable AST rules.  :mod:`repro.devtools.engine` walks
+files, parses each once, and dispatches every registered rule visitor
+over the shared tree; :mod:`repro.devtools.rules` holds one module per
+rule, each registering itself via the :func:`~repro.devtools.engine.rule`
+decorator.
+
+Findings can be suppressed inline with ``# repro: noqa[REP###]`` (or a
+bare ``# repro: noqa`` for every rule) and grandfathered through a JSON
+baseline file; anything not suppressed or baselined fails ``repro check``
+with exit code 1.
+"""
+
+from .engine import (
+    Finding,
+    RuleMeta,
+    all_rules,
+    check_paths,
+    check_source,
+    load_baseline,
+    rule,
+    write_baseline,
+)
+from .runner import run_check
+
+__all__ = [
+    "Finding",
+    "RuleMeta",
+    "all_rules",
+    "check_paths",
+    "check_source",
+    "load_baseline",
+    "rule",
+    "run_check",
+    "write_baseline",
+]

@@ -1,0 +1,352 @@
+"""Core of the ``repro check`` static analyser.
+
+One :func:`ast.parse` per file; every registered rule walks the shared
+tree through its own :class:`ast.NodeVisitor`.  Rules register with the
+:func:`rule` decorator (see :mod:`repro.devtools.rules`) and scope
+themselves to path fragments — ``repro/engine/`` for the fold-order rule,
+``repro/serve/`` for the blocking-call rule — so one repo-wide walk
+applies each invariant exactly where it holds.
+
+Suppression layers, innermost first:
+
+* ``# repro: noqa[REP002]`` (or a bare ``# repro: noqa``) on the finding
+  line silences that line.
+* A JSON baseline file grandfathers known findings by fingerprint
+  (``rule:path:snippet`` — line-number free, so unrelated edits above a
+  grandfathered line do not un-baseline it).  Only *non-baselined*
+  findings fail the check.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import StaticCheckError
+
+__all__ = [
+    "Finding",
+    "RuleMeta",
+    "all_rules",
+    "check_paths",
+    "check_file",
+    "check_source",
+    "iter_python_files",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+    "rule",
+]
+
+#: Severity ladder; both levels fail the gate, the label is informational.
+SEVERITIES = ("error", "warning")
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<ids>REP\d{3}(?:\s*,\s*REP\d{3})*)\])?",
+    re.IGNORECASE,
+)
+
+_RULE_ID_RE = re.compile(r"^REP\d{3}$")
+
+#: Directories never descended into by the file walker.
+_SKIP_DIRS = {"__pycache__", ".git", ".hg", "node_modules", "build", "dist", ".venv"}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str
+
+    def fingerprint(self) -> str:
+        """Line-number-free identity used by the baseline file."""
+        return f"{self.rule}:{self.path}:{' '.join(self.snippet.split())}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} [{self.severity}] {self.message}"
+
+
+@dataclass(frozen=True)
+class RuleMeta:
+    """A registered rule: identity, scope predicate and visitor factory."""
+
+    rule_id: str
+    severity: str
+    description: str
+    rationale: str
+    factory: Callable[["Reporter"], ast.NodeVisitor]
+    applies: Callable[[str], bool]
+
+
+class Reporter:
+    """Per-(file, rule) reporting handle passed to each rule visitor."""
+
+    def __init__(self, meta: RuleMeta, path: str, lines: Sequence[str]) -> None:
+        self._meta = meta
+        self.path = path
+        self._lines = lines
+        self.findings: List[Finding] = []
+
+    def report(self, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        snippet = self._lines[line - 1].strip() if 0 < line <= len(self._lines) else ""
+        self.findings.append(
+            Finding(
+                rule=self._meta.rule_id,
+                severity=self._meta.severity,
+                path=self.path,
+                line=line,
+                col=col,
+                message=message,
+                snippet=snippet,
+            )
+        )
+
+
+_REGISTRY: Dict[str, RuleMeta] = {}
+
+
+def rule(
+    rule_id: str,
+    *,
+    severity: str,
+    description: str,
+    rationale: str = "",
+    applies: Optional[Callable[[str], bool]] = None,
+) -> Callable[[type], type]:
+    """Class decorator registering an :class:`ast.NodeVisitor` as a rule.
+
+    The decorated class must accept a single :class:`Reporter` argument.
+    ``applies`` receives the file's POSIX-normalised path and gates the
+    rule per file (default: every file).
+    """
+    if not _RULE_ID_RE.match(rule_id):
+        raise ValueError(f"rule id must look like REP123, got {rule_id!r}")
+    if severity not in SEVERITIES:
+        raise ValueError(f"severity must be one of {SEVERITIES}, got {severity!r}")
+    if rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_id}")
+
+    def decorate(cls: type) -> type:
+        _REGISTRY[rule_id] = RuleMeta(
+            rule_id=rule_id,
+            severity=severity,
+            description=description,
+            rationale=rationale,
+            factory=cls,
+            applies=applies or (lambda path: True),
+        )
+        return cls
+
+    return decorate
+
+
+def all_rules() -> Dict[str, RuleMeta]:
+    """Every registered rule, importing the rule package on first use."""
+    from . import rules  # noqa: F401  (import side effect: registration)
+
+    return dict(sorted(_REGISTRY.items()))
+
+
+def select_rules(rule_ids: Optional[Sequence[str]]) -> Dict[str, RuleMeta]:
+    """Resolve a rule-id selection, raising on unknown ids."""
+    registry = all_rules()
+    if not rule_ids:
+        return registry
+    selected: Dict[str, RuleMeta] = {}
+    for raw in rule_ids:
+        rule_id = raw.strip().upper()
+        if rule_id not in registry:
+            raise StaticCheckError(
+                f"unknown rule {raw!r}; available: {', '.join(registry)}"
+            )
+        selected[rule_id] = registry[rule_id]
+    return dict(sorted(selected.items()))
+
+
+# ----------------------------------------------------------------------
+# Per-source checking
+# ----------------------------------------------------------------------
+def _noqa_lines(lines: Sequence[str]) -> Dict[int, Optional[frozenset]]:
+    """Map 1-based line numbers to suppressed rule ids (``None`` = all)."""
+    suppressed: Dict[int, Optional[frozenset]] = {}
+    for number, text in enumerate(lines, start=1):
+        match = _NOQA_RE.search(text)
+        if not match:
+            continue
+        ids = match.group("ids")
+        if ids is None:
+            suppressed[number] = None
+        else:
+            suppressed[number] = frozenset(part.strip().upper() for part in ids.split(","))
+    return suppressed
+
+
+def check_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Dict[str, RuleMeta]] = None,
+) -> List[Finding]:
+    """Check one source string; ``path`` drives per-rule scoping.
+
+    Fixture tests pass virtual paths (``src/repro/engine/x.py``) to
+    exercise path-scoped rules without touching the filesystem.
+    """
+    normalized = Path(path).as_posix()
+    registry = rules if rules is not None else all_rules()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        raise StaticCheckError(f"{path}: cannot parse: {error}") from error
+    lines = source.splitlines()
+    suppressed = _noqa_lines(lines)
+    findings: List[Finding] = []
+    for meta in registry.values():
+        if not meta.applies(normalized):
+            continue
+        reporter = Reporter(meta, normalized, lines)
+        meta.factory(reporter).visit(tree)
+        findings.extend(reporter.findings)
+    kept = []
+    for finding in findings:
+        ids = suppressed.get(finding.line, False)
+        if ids is False:
+            kept.append(finding)
+        elif ids is not None and finding.rule not in ids:
+            kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return kept
+
+
+def check_file(path: Path, rules: Optional[Dict[str, RuleMeta]] = None) -> List[Finding]:
+    """Check one file on disk."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise StaticCheckError(f"cannot read {path}: {error}") from error
+    return check_source(source, path=str(path), rules=rules)
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
+    """Yield every ``.py`` file under ``paths`` (files pass through as-is)."""
+    for entry in paths:
+        if entry.is_file():
+            yield entry
+            continue
+        if not entry.is_dir():
+            raise StaticCheckError(f"no such file or directory: {entry}")
+        for candidate in sorted(entry.rglob("*.py")):
+            if any(part in _SKIP_DIRS or part.startswith(".") for part in candidate.parts):
+                continue
+            yield candidate
+
+
+def check_paths(
+    paths: Sequence[Path],
+    rules: Optional[Dict[str, RuleMeta]] = None,
+) -> Tuple[List[Finding], int]:
+    """Check every python file under ``paths``.
+
+    Returns ``(findings, files_checked)``; findings are sorted by
+    location for stable text/JSON output.
+    """
+    registry = rules if rules is not None else all_rules()
+    findings: List[Finding] = []
+    files_checked = 0
+    for file_path in iter_python_files(paths):
+        files_checked += 1
+        findings.extend(check_file(file_path, rules=registry))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings, files_checked
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+@dataclass
+class Baseline:
+    """Grandfathered finding counts keyed by :meth:`Finding.fingerprint`."""
+
+    entries: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.entries.values())
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Load a baseline JSON document written by ``--write-baseline``."""
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise StaticCheckError(f"cannot read baseline {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise StaticCheckError(f"baseline {path} is not valid JSON: {error}") from error
+    if not isinstance(document, dict) or document.get("version") != 1:
+        raise StaticCheckError(f"baseline {path}: expected a version-1 document")
+    entries = document.get("entries", {})
+    if not isinstance(entries, dict) or not all(
+        isinstance(count, int) and count > 0 for count in entries.values()
+    ):
+        raise StaticCheckError(f"baseline {path}: 'entries' must map fingerprints to counts >= 1")
+    return Baseline(entries=dict(entries))
+
+
+def baseline_from_findings(findings: Sequence[Finding]) -> Baseline:
+    entries: Dict[str, int] = {}
+    for finding in findings:
+        key = finding.fingerprint()
+        entries[key] = entries.get(key, 0) + 1
+    return Baseline(entries=dict(sorted(entries.items())))
+
+
+def write_baseline(findings: Sequence[Finding], path: Path) -> Baseline:
+    """Persist current findings as the new grandfathered baseline."""
+    baseline = baseline_from_findings(findings)
+    document = {"version": 1, "entries": baseline.entries}
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return baseline
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Baseline
+) -> Tuple[List[Finding], int, List[str]]:
+    """Split findings into (new, baselined-count, stale-fingerprints).
+
+    Stale fingerprints — baseline entries no findings matched — signal a
+    fixed violation whose grandfather entry should be dropped.
+    """
+    budget = dict(baseline.entries)
+    new: List[Finding] = []
+    baselined = 0
+    for finding in findings:
+        key = finding.fingerprint()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            baselined += 1
+        else:
+            new.append(finding)
+    stale = sorted(key for key, remaining in budget.items() if remaining > 0)
+    return new, baselined, stale

@@ -1,0 +1,61 @@
+"""Shared path predicates and AST helpers for the REP rules.
+
+Path predicates match on POSIX path *fragments* rather than anchored
+roots, so rules apply identically to ``src/repro/engine/foo.py`` in the
+repo, an installed ``.../site-packages/repro/engine/foo.py``, and the
+seeded temp trees the regression tests build under ``/tmp``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+__all__ = [
+    "under",
+    "in_tests",
+    "in_library",
+    "dotted_name",
+    "call_name",
+]
+
+
+def under(fragment: str):
+    """Predicate: path contains ``fragment`` as a path fragment."""
+
+    def predicate(path: str) -> bool:
+        return fragment in path
+
+    return predicate
+
+
+def in_tests(path: str) -> bool:
+    """Whether ``path`` is a test file (``tests/`` tree or ``test_*.py``)."""
+    return (
+        "/tests/" in path
+        or path.startswith("tests/")
+        or path.rsplit("/", 1)[-1].startswith("test_")
+        or path.rsplit("/", 1)[-1] == "conftest.py"
+    )
+
+
+def in_library(path: str) -> bool:
+    """Whether ``path`` is library code (the ``repro`` package itself)."""
+    return "repro/" in path and not in_tests(path)
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Flatten ``a.b.c`` Name/Attribute chains to ``"a.b.c"`` (else None)."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """Dotted name of a call target (``np.add.at(...)`` -> ``"np.add.at"``)."""
+    return dotted_name(node.func)

@@ -1,0 +1,108 @@
+"""REP001: annotated-non-``Optional`` parameter or field with ``None`` default.
+
+Four of the first six PRs independently re-fixed this bug class (PRs 2,
+4, 5, 6): a parameter annotated ``labels: Sequence[str]`` but defaulted
+to ``None`` lies to every reader and type checker, and downstream code
+that trusts the annotation crashes on the default.  The annotation must
+admit ``None`` — ``Optional[X]``, ``X | None``, ``Union[..., None]`` —
+whenever ``None`` is the default.
+
+Covers positional, keyword-only and class-body (dataclass-field)
+annotations alike.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Tuple
+
+from ..engine import Reporter, rule
+
+#: Annotations that already admit None (or anything at all).
+_PERMISSIVE_NAMES = {"Any", "object", "None"}
+
+
+def _annotation_allows_none(annotation: ast.AST) -> bool:
+    """Whether an annotation expression admits ``None`` as a value."""
+    if isinstance(annotation, ast.Constant):
+        if annotation.value is None:
+            return True
+        if isinstance(annotation.value, str):
+            # String annotation: fall back to a textual check.
+            text = annotation.value
+            return "Optional" in text or "None" in text or "Any" in text
+        return False
+    if isinstance(annotation, ast.Name):
+        return annotation.id in _PERMISSIVE_NAMES
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr in _PERMISSIVE_NAMES
+    if isinstance(annotation, ast.Subscript):
+        head = annotation.value
+        head_name = head.attr if isinstance(head, ast.Attribute) else getattr(head, "id", "")
+        if head_name == "Optional":
+            return True
+        if head_name == "Union":
+            slice_node = annotation.slice
+            elements = slice_node.elts if isinstance(slice_node, ast.Tuple) else [slice_node]
+            return any(_annotation_allows_none(element) for element in elements)
+        return False
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        return _annotation_allows_none(annotation.left) or _annotation_allows_none(
+            annotation.right
+        )
+    return False
+
+
+def _is_none(node: Optional[ast.AST]) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+@rule(
+    "REP001",
+    severity="error",
+    description="annotated non-Optional parameter/field with a None default",
+    rationale="re-fixed independently in PRs 2, 4, 5 and 6",
+)
+class OptionalDefaultRule(ast.NodeVisitor):
+    def __init__(self, reporter: Reporter) -> None:
+        self.reporter = reporter
+
+    # -- function signatures ------------------------------------------
+    def _check_args(self, node) -> None:
+        args = node.args
+        pairs: List[Tuple[ast.arg, Optional[ast.AST]]] = []
+        positional = args.posonlyargs + args.args
+        defaults: List[Optional[ast.AST]] = [None] * (
+            len(positional) - len(args.defaults)
+        ) + list(args.defaults)
+        pairs.extend(zip(positional, defaults))
+        pairs.extend(zip(args.kwonlyargs, args.kw_defaults))
+        for argument, default in pairs:
+            if argument.annotation is None or not _is_none(default):
+                continue
+            if not _annotation_allows_none(argument.annotation):
+                self.reporter.report(
+                    argument,
+                    f"parameter {argument.arg!r} is annotated "
+                    f"{ast.unparse(argument.annotation)!r} but defaults to None; "
+                    "annotate it Optional[...] (or drop the None default)",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_args(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_args(node)
+        self.generic_visit(node)
+
+    # -- annotated assignments (dataclass fields, module globals) -----
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if _is_none(node.value) and not _annotation_allows_none(node.annotation):
+            target = ast.unparse(node.target)
+            self.reporter.report(
+                node,
+                f"{target!r} is annotated {ast.unparse(node.annotation)!r} but "
+                "assigned None; annotate it Optional[...]",
+            )
+        self.generic_visit(node)

@@ -1,0 +1,74 @@
+"""REP003: shared-memory lifecycle outside the ShmRegistry.
+
+PR 7's leak guarantees (atexit/SIGTERM unlink, ``weakref.finalize``
+teardown, the session-wide ``/dev/shm`` guard) hold only because every
+``SharedMemory(create=True)`` and every ``.unlink()`` goes through
+``repro/engine/shm_registry.py``.  A segment created anywhere else is
+invisible to the registry and survives the process as a ``/dev/shm``
+leak; an unlink anywhere else can tear a segment out from under attached
+workers.
+
+Flags, outside ``shm_registry.py``:
+
+* any ``SharedMemory(...)`` call with ``create=True``;
+* zero-argument ``.unlink()`` on a receiver whose name suggests a
+  shared-memory handle (contains ``shm``, ``segment``, ``shared`` or
+  ``memory``) — plain ``Path.unlink()`` receivers are left alone.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Reporter, rule
+from .common import dotted_name, in_library
+
+_SHM_RECEIVER_HINTS = ("shm", "segment", "shared", "memory")
+
+
+def _applies(path: str) -> bool:
+    return in_library(path) and not path.endswith("engine/shm_registry.py")
+
+
+@rule(
+    "REP003",
+    severity="error",
+    description="SharedMemory(create=True) or shm .unlink() outside shm_registry.py",
+    rationale="PR 7's leak/teardown guarantees require all segment "
+    "lifecycle to go through ShmRegistry",
+    applies=_applies,
+)
+class ShmLifecycleRule(ast.NodeVisitor):
+    def __init__(self, reporter: Reporter) -> None:
+        self.reporter = reporter
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func) or ""
+        if name.split(".")[-1] == "SharedMemory":
+            for keyword in node.keywords:
+                if (
+                    keyword.arg == "create"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                ):
+                    self.reporter.report(
+                        node,
+                        "SharedMemory(create=True) outside shm_registry.py "
+                        "escapes the registry's leak/teardown guarantees; "
+                        "publish through ShmRegistry instead",
+                    )
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "unlink"
+            and not node.args
+        ):
+            receiver = dotted_name(node.func.value) or ""
+            lowered = receiver.lower()
+            if any(hint in lowered for hint in _SHM_RECEIVER_HINTS):
+                self.reporter.report(
+                    node,
+                    f"{receiver}.unlink() outside shm_registry.py can tear a "
+                    "segment out from under attached workers; route teardown "
+                    "through ShmRegistry",
+                )
+        self.generic_visit(node)

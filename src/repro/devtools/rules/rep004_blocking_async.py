@@ -1,0 +1,89 @@
+"""REP004: blocking calls inside ``async def`` in the serve daemon.
+
+The PR 6 daemon is a single asyncio event loop; one ``time.sleep`` or
+synchronous ``open()`` on a request path stalls *every* connection,
+including the health check CI polls.  Blocking work belongs behind
+``loop.run_in_executor`` (which is exactly why nested *sync* functions
+and lambdas inside an ``async def`` are exempt — they are the executor
+payloads).
+
+Flags, lexically inside an ``async def`` under ``repro/serve/``:
+
+* ``time.sleep`` (use ``asyncio.sleep``);
+* any ``subprocess.*`` call;
+* any ``requests.*`` / ``urllib.request.*`` call;
+* the builtin ``open()`` (use an executor for file IO);
+* ``socket.create_connection`` / bare ``socket.socket().connect``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Reporter, rule
+from .common import dotted_name, under
+
+_BLOCKING_EXACT = {
+    "time.sleep": "asyncio.sleep",
+    "socket.create_connection": "asyncio.open_connection",
+}
+
+_BLOCKING_PREFIXES = ("subprocess.", "requests.", "urllib.request.")
+
+
+@rule(
+    "REP004",
+    severity="error",
+    description="blocking call inside async def in the serve daemon",
+    rationale="the PR 6 asyncio daemon serves every connection from one "
+    "event loop; blocking work must go through run_in_executor",
+    applies=under("repro/serve/"),
+)
+class BlockingAsyncRule(ast.NodeVisitor):
+    def __init__(self, reporter: Reporter) -> None:
+        self.reporter = reporter
+        # Stack of enclosing function kinds; a call blocks the loop only
+        # when the *innermost* enclosing function is async.
+        self._stack = []
+
+    def _in_async(self) -> bool:
+        return bool(self._stack) and self._stack[-1] == "async"
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._stack.append("async")
+        self.generic_visit(node)
+        self._stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._stack.append("sync")
+        self.generic_visit(node)
+        self._stack.pop()
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._stack.append("sync")
+        self.generic_visit(node)
+        self._stack.pop()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._in_async():
+            name = dotted_name(node.func)
+            if name is not None:
+                if name in _BLOCKING_EXACT:
+                    self.reporter.report(
+                        node,
+                        f"{name}() blocks the event loop; use "
+                        f"{_BLOCKING_EXACT[name]} instead",
+                    )
+                elif name == "open":
+                    self.reporter.report(
+                        node,
+                        "synchronous open() inside async def blocks the event "
+                        "loop; run file IO in an executor",
+                    )
+                elif any(name.startswith(prefix) for prefix in _BLOCKING_PREFIXES):
+                    self.reporter.report(
+                        node,
+                        f"{name}() is synchronous IO inside async def; move it "
+                        "behind loop.run_in_executor",
+                    )
+        self.generic_visit(node)

@@ -1,0 +1,62 @@
+"""REP005: deprecated-shim usage outside the shims' own homes.
+
+Two compatibility shims survive for the seed's sake and for tests that
+prove they still work — nothing else may grow new dependencies on them:
+
+* ``PartitionAssignment.vertex_partitions()`` — the seed's
+  dict-of-frozensets view; the array-native ``membership()`` CSR model
+  (PR 3) replaced it on every hot path.
+* the ``"pocek"`` dataset alias — the historical misspelling of
+  ``"pokec"``, kept as a ``DeprecationWarning`` shim (PR 5).
+
+Allowed homes: ``tests/`` (which pin the shims' behaviour),
+``partitioning/base.py`` (defines ``vertex_partitions``) and
+``datasets/catalog.py`` (defines the alias table).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Reporter, rule
+from .common import in_library
+
+_DEFINING_MODULES = ("partitioning/base.py", "datasets/catalog.py")
+
+
+def _applies(path: str) -> bool:
+    return in_library(path) and not path.endswith(_DEFINING_MODULES)
+
+
+@rule(
+    "REP005",
+    severity="warning",
+    description="deprecated shim (vertex_partitions() / 'pocek' alias) "
+    "outside tests and the defining modules",
+    rationale="PR 3 replaced the dict view with CSR membership; PR 5 "
+    "renamed pocek->pokec behind a DeprecationWarning",
+    applies=_applies,
+)
+class DeprecatedShimRule(ast.NodeVisitor):
+    def __init__(self, reporter: Reporter) -> None:
+        self.reporter = reporter
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "vertex_partitions"
+        ):
+            self.reporter.report(
+                node,
+                "vertex_partitions() is the seed's deprecated dict view; use "
+                "membership() (CSR VertexMembership) instead",
+            )
+        self.generic_visit(node)
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        if node.value == "pocek":  # repro: noqa[REP005]
+            self.reporter.report(
+                node,
+                "'pocek' is the deprecated misspelling of the pokec dataset; "
+                "use 'pokec'",
+            )

@@ -1,0 +1,118 @@
+"""REP006: non-canonical name literals in partitioner/algorithm comparisons.
+
+``canonical_partitioner_name`` and ``canonical_algorithm_name`` exist so
+user-facing spellings (``"rvc"``, ``"PageRank"``) normalise once at the
+boundary; comparing raw strings against a non-canonical literal
+(``if name == "hybrid"`` or ``algo.lower() == "pr"``) silently bypasses
+that funnel and breaks the moment input arrives in another case.
+
+Flags ``==`` / ``!=`` / ``in`` / ``not in`` comparisons whose string
+literal matches a registry name *case-insensitively but not exactly*
+(``"pr"``, ``"hybrid"``, ``"PageRank"``).  Comparisons against the
+canonical spelling (``key == "PR"`` after canonicalisation) are the
+normal idiom and pass untouched.
+
+The canonical vocabularies are imported from the live registries at
+check time, so new partitioners/algorithms are covered automatically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterable, Tuple
+
+from ..engine import Reporter, rule
+from .common import in_library
+
+
+def _canonical_vocabulary() -> Tuple[FrozenSet[str], FrozenSet[str]]:
+    try:
+        from ...algorithms.registry import ALGORITHM_NAMES, _ALGORITHM_ALIASES
+        from ...partitioning.registry import available_partitioners
+
+        names = set(available_partitioners()) | set(ALGORITHM_NAMES)
+        aliases = set(_ALGORITHM_ALIASES)
+    except Exception:  # pragma: no cover - registries always import in-repo
+        names = {
+            "RVC", "1D", "2D", "CRVC", "SC", "DC",
+            "DBH", "Greedy", "HDRF", "Fennel", "Hybrid",
+            "PR", "CC", "TR", "SSSP",
+        }
+        aliases = {
+            "PAGERANK", "CONNECTEDCOMPONENTS", "TRIANGLECOUNT",
+            "TRIANGLES", "SHORTESTPATHS",
+        }
+    return frozenset(names), frozenset(aliases)
+
+
+_CANONICAL, _ALIASES = _canonical_vocabulary()
+_LOWER_TO_CANONICAL = {name.lower(): name for name in _CANONICAL}
+_ALIASES_LOWER = frozenset(alias.lower() for alias in _ALIASES)
+
+
+def _offending(value: object) -> bool:
+    if not isinstance(value, str):
+        return False
+    lowered = value.lower()
+    if lowered in _ALIASES_LOWER:
+        # Long-form alias ("PageRank"): only canonical_algorithm_name
+        # resolves these; any literal comparison is a bypass.
+        return True
+    canonical = _LOWER_TO_CANONICAL.get(lowered)
+    return canonical is not None and value != canonical
+
+
+def _literal_strings(node: ast.AST) -> Iterable[ast.Constant]:
+    if isinstance(node, ast.Constant):
+        yield node
+    elif isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        for element in node.elts:
+            if isinstance(element, ast.Constant):
+                yield element
+
+
+@rule(
+    "REP006",
+    severity="warning",
+    description="string comparison against a non-canonical partitioner/"
+    "algorithm spelling (bypasses canonical_*_name)",
+    rationale="the canonical-name funnels exist so case-insensitive user "
+    "spellings normalise once at the boundary",
+    applies=in_library,
+)
+class CanonicalNameRule(ast.NodeVisitor):
+    def __init__(self, reporter: Reporter) -> None:
+        self.reporter = reporter
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        for operand, operator in zip(node.comparators, node.ops):
+            if isinstance(operator, (ast.Eq, ast.NotEq)):
+                # Either side of an equality may be the literal.
+                candidates = list(_literal_strings(operand))
+                if isinstance(node.left, ast.Constant):
+                    candidates.extend(_literal_strings(node.left))
+                for constant in candidates:
+                    if _offending(constant.value):
+                        self._flag(constant)
+            elif isinstance(operator, (ast.In, ast.NotIn)):
+                # Only literal containers are name comparisons; a literal
+                # needle against a variable (dict membership) is not.
+                if isinstance(operand, (ast.Tuple, ast.List, ast.Set)):
+                    for constant in _literal_strings(operand):
+                        if _offending(constant.value):
+                            self._flag(constant)
+        self.generic_visit(node)
+
+    def _flag(self, constant: ast.Constant) -> None:
+        value = constant.value
+        canonical = _LOWER_TO_CANONICAL.get(str(value).lower())
+        hint = (
+            f"compare against the canonical spelling {canonical!r}"
+            if canonical is not None
+            else "resolve it with canonical_algorithm_name() first"
+        )
+        self.reporter.report(
+            constant,
+            f"comparison against non-canonical name literal {value!r} bypasses "
+            f"the canonical-name funnel; {hint}",
+        )

@@ -1,0 +1,72 @@
+"""REP007: bare ``except:`` anywhere, swallowed ``KeyError`` in the engine.
+
+A bare ``except:`` catches ``KeyboardInterrupt``/``SystemExit`` and has
+repeatedly hidden real failures; library code must name what it catches.
+Inside ``repro/engine/`` the stakes are higher: message routing raises
+``EngineError`` on unknown targets precisely because an earlier bug
+swallowed the ``KeyError`` and silently dropped messages — so an
+``except KeyError:`` whose body is only ``pass``/``continue``/``...``
+is flagged there too.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Reporter, rule
+from .common import in_library, under
+
+
+def _names_keyerror(handler_type: ast.AST) -> bool:
+    if isinstance(handler_type, ast.Name):
+        return handler_type.id == "KeyError"
+    if isinstance(handler_type, ast.Tuple):
+        return any(_names_keyerror(element) for element in handler_type.elts)
+    return False
+
+
+def _body_swallows(body) -> bool:
+    return all(
+        isinstance(statement, (ast.Pass, ast.Continue))
+        or (
+            isinstance(statement, ast.Expr)
+            and isinstance(statement.value, ast.Constant)
+            and statement.value.value is Ellipsis
+        )
+        for statement in body
+    )
+
+
+@rule(
+    "REP007",
+    severity="error",
+    description="bare except: (library-wide) or swallowed KeyError in "
+    "engine message-routing code",
+    rationale="unknown message targets must surface as EngineError, not "
+    "vanish; a swallowed KeyError once silently dropped messages",
+    applies=in_library,
+)
+class SwallowedErrorRule(ast.NodeVisitor):
+    def __init__(self, reporter: Reporter) -> None:
+        self.reporter = reporter
+        self._in_engine = under("repro/engine/")(reporter.path)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.reporter.report(
+                node,
+                "bare except: catches SystemExit/KeyboardInterrupt; name the "
+                "exceptions (ReproError subclasses for library failures)",
+            )
+        elif (
+            self._in_engine
+            and _names_keyerror(node.type)
+            and _body_swallows(node.body)
+        ):
+            self.reporter.report(
+                node,
+                "swallowed KeyError in engine code can silently drop routed "
+                "messages; raise EngineError (unknown target) or handle the "
+                "miss explicitly",
+            )
+        self.generic_visit(node)

@@ -1,0 +1,65 @@
+"""REP008: unseeded randomness in library code.
+
+Every result in this repo is reproducible by construction — datasets,
+landmark choices and hash partitioners all derive from an explicit seed,
+and the equivalence zoo asserts bit-identical values across executors.
+One ``np.random.default_rng()`` (no seed) or module-level ``random.*``
+call (shared global state, racy across the thread/process executors)
+breaks that silently.
+
+Flags, in library code:
+
+* ``np.random.default_rng()`` / ``numpy.random.default_rng()`` with no
+  arguments;
+* ``random.<fn>(...)`` calls on the stdlib module's global state
+  (``random.random``, ``random.randint``, ``random.shuffle``, ...) —
+  a seeded ``random.Random(seed)`` instance is the accepted spelling.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Reporter, rule
+from .common import dotted_name, in_library
+
+_DEFAULT_RNG_CALLS = {
+    "np.random.default_rng",
+    "numpy.random.default_rng",
+    "default_rng",
+}
+
+
+@rule(
+    "REP008",
+    severity="warning",
+    description="unseeded default_rng() or module-level random.* in library code",
+    rationale="reproducibility is seed-derived end to end; global RNG "
+    "state is also racy under the thread/process executors",
+    applies=in_library,
+)
+class UnseededRandomRule(ast.NodeVisitor):
+    def __init__(self, reporter: Reporter) -> None:
+        self.reporter = reporter
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name in _DEFAULT_RNG_CALLS and not node.args and not node.keywords:
+            self.reporter.report(
+                node,
+                f"{name}() without a seed is nondeterministic; thread the "
+                "caller's seed through (default_rng(seed))",
+            )
+        elif (
+            name is not None
+            and name.startswith("random.")
+            and name.count(".") == 1
+            and name != "random.Random"
+        ):
+            self.reporter.report(
+                node,
+                f"{name}() uses the stdlib's global RNG state (unseeded and "
+                "racy under executors); use a seeded random.Random or "
+                "numpy Generator",
+            )
+        self.generic_visit(node)

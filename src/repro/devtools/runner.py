@@ -1,0 +1,139 @@
+"""``repro check`` command logic (argparse-facing side of devtools).
+
+Kept out of :mod:`repro.cli` so the analyser stays importable and
+testable without the full CLI, and out of :mod:`~repro.devtools.engine`
+so the engine knows nothing about argparse, stdout or exit codes.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import StaticCheckError
+from ..metrics.report import format_table
+from .engine import (
+    Finding,
+    apply_baseline,
+    check_paths,
+    load_baseline,
+    select_rules,
+    write_baseline,
+)
+
+__all__ = ["run_check", "default_check_paths", "list_rules_rows"]
+
+#: Directories checked when no paths are given, in walk order.
+DEFAULT_CHECK_DIRS = ("src", "tests", "benchmarks", "examples")
+
+
+def default_check_paths(root: Optional[Path] = None) -> List[Path]:
+    """The default check targets that exist under ``root`` (cwd)."""
+    base = root or Path.cwd()
+    found = [base / name for name in DEFAULT_CHECK_DIRS if (base / name).is_dir()]
+    if not found:
+        raise StaticCheckError(
+            f"no default check targets ({', '.join(DEFAULT_CHECK_DIRS)}) under "
+            f"{base}; pass explicit paths"
+        )
+    return found
+
+
+def list_rules_rows() -> List[Dict[str, object]]:
+    """``--list-rules`` table rows, one per registered rule."""
+    from .engine import all_rules
+
+    return [
+        {
+            "rule": meta.rule_id,
+            "severity": meta.severity,
+            "description": meta.description,
+        }
+        for meta in all_rules().values()
+    ]
+
+
+def _json_document(
+    new: Sequence[Finding],
+    *,
+    files_checked: int,
+    rule_ids: Sequence[str],
+    baselined: int,
+    stale: Sequence[str],
+    exit_code: int,
+) -> Dict[str, object]:
+    return {
+        "version": 1,
+        "files_checked": files_checked,
+        "rules": list(rule_ids),
+        "findings": [finding.as_dict() for finding in new],
+        "baselined": baselined,
+        "stale_baseline": list(stale),
+        "exit_code": exit_code,
+    }
+
+
+def run_check(args) -> int:
+    """Execute ``repro check`` for a parsed argparse namespace.
+
+    Returns 0 when every finding is suppressed or baselined, 1 when new
+    findings remain; configuration problems raise
+    :class:`~repro.errors.StaticCheckError` (exit 2 via the CLI).
+    """
+    if args.list_rules:
+        print(format_table(list_rules_rows()))
+        return 0
+
+    selected = select_rules(args.rule)
+    paths = [Path(p) for p in args.paths] if args.paths else default_check_paths()
+    findings, files_checked = check_paths(paths, rules=selected)
+
+    baseline_path = Path(args.baseline) if args.baseline else None
+    if args.write_baseline:
+        if baseline_path is None:
+            raise StaticCheckError("--write-baseline requires --baseline PATH")
+        baseline = write_baseline(findings, baseline_path)
+        print(
+            f"repro check: wrote {baseline.total} grandfathered finding(s) "
+            f"({len(baseline.entries)} fingerprints) to {baseline_path}"
+        )
+        return 0
+
+    baselined = 0
+    stale: List[str] = []
+    new = list(findings)
+    if baseline_path is not None:
+        baseline = load_baseline(baseline_path)
+        new, baselined, stale = apply_baseline(findings, baseline)
+
+    exit_code = 1 if new else 0
+    document = _json_document(
+        new,
+        files_checked=files_checked,
+        rule_ids=list(selected),
+        baselined=baselined,
+        stale=stale,
+        exit_code=exit_code,
+    )
+    if args.format == "json":
+        print(json.dumps(document, indent=2))
+    else:
+        for finding in new:
+            print(str(finding))
+        summary = (
+            f"repro check: {len(new)} new finding(s), {baselined} baselined, "
+            f"{files_checked} file(s), {len(selected)} rule(s)"
+        )
+        print(summary)
+        for fingerprint in stale:
+            print(
+                f"repro check: stale baseline entry (already fixed): {fingerprint}",
+                file=sys.stderr,
+            )
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(document, indent=2) + "\n", encoding="utf-8"
+        )
+    return exit_code

@@ -68,7 +68,7 @@ class ArrayMessageKernel:
 
     #: ufunc combining two messages for the same target; must be the exact
     #: array counterpart of the scalar ``merge_message`` (np.add, np.minimum).
-    merge_ufunc: np.ufunc = None
+    merge_ufunc: Optional[np.ufunc] = None
     #: Identity element of ``merge_ufunc`` used to seed the left fold.
     merge_identity: Any = None
     #: dtype of one message (float64 ranks, int64 labels, ...).

@@ -37,3 +37,8 @@ class DatasetError(ReproError):
 
 class AnalysisError(ReproError):
     """Raised when an experiment or analysis routine is misconfigured."""
+
+
+class StaticCheckError(ReproError):
+    """Raised when ``repro check`` is misconfigured (unknown rule id,
+    unreadable path or baseline, unparseable source)."""

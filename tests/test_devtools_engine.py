@@ -1,0 +1,148 @@
+"""Engine mechanics: noqa suppression, baseline, walker, rule selection."""
+
+import json
+
+import pytest
+
+from repro.devtools import check_source, load_baseline, write_baseline
+from repro.devtools.engine import (
+    all_rules,
+    apply_baseline,
+    check_paths,
+    iter_python_files,
+    select_rules,
+)
+from repro.errors import ReproError, StaticCheckError
+
+VIOLATION = "def f(x: int = None):\n    return x\n"
+
+
+class TestRegistry:
+    def test_all_eight_rules_register(self):
+        registry = all_rules()
+        assert sorted(registry) == [f"REP00{i}" for i in range(1, 9)]
+        for meta in registry.values():
+            assert meta.description
+            assert meta.severity in ("error", "warning")
+
+    def test_select_rules_is_case_insensitive(self):
+        assert list(select_rules(["rep001", "REP004"])) == ["REP001", "REP004"]
+
+    def test_select_unknown_rule_raises(self):
+        with pytest.raises(StaticCheckError, match="REP999"):
+            select_rules(["REP999"])
+
+    def test_static_check_error_is_a_repro_error(self):
+        assert issubclass(StaticCheckError, ReproError)
+
+
+class TestNoqa:
+    def test_specific_noqa_suppresses_that_rule(self):
+        source = "def f(x: int = None):  # repro: noqa[REP001]\n    return x\n"
+        assert check_source(source) == []
+
+    def test_bare_noqa_suppresses_every_rule(self):
+        source = "def f(x: int = None):  # repro: noqa\n    return x\n"
+        assert check_source(source) == []
+
+    def test_noqa_for_a_different_rule_does_not_suppress(self):
+        source = "def f(x: int = None):  # repro: noqa[REP008]\n    return x\n"
+        findings = check_source(source)
+        assert [f.rule for f in findings] == ["REP001"]
+
+    def test_noqa_only_covers_its_own_line(self):
+        source = (
+            "# repro: noqa[REP001]\n"
+            "def f(x: int = None):\n"
+            "    return x\n"
+        )
+        assert [f.rule for f in check_source(source)] == ["REP001"]
+
+    def test_comma_separated_noqa_ids(self):
+        source = "def f(x: int = None):  # repro: noqa[REP002, REP001]\n    return x\n"
+        assert check_source(source) == []
+
+
+class TestFindings:
+    def test_finding_carries_location_and_snippet(self):
+        (finding,) = check_source(VIOLATION, path="src/repro/pkg/mod.py")
+        assert finding.rule == "REP001"
+        assert finding.path == "src/repro/pkg/mod.py"
+        assert finding.line == 1
+        assert finding.snippet == "def f(x: int = None):"
+        assert "mod.py:1:" in str(finding)
+
+    def test_fingerprint_is_line_number_free(self):
+        (first,) = check_source(VIOLATION, path="src/repro/pkg/mod.py")
+        shifted = "\n\n\n" + VIOLATION
+        (second,) = check_source(shifted, path="src/repro/pkg/mod.py")
+        assert first.line != second.line
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_syntax_error_raises_static_check_error(self):
+        with pytest.raises(StaticCheckError, match="cannot parse"):
+            check_source("def f(:\n")
+
+
+class TestBaseline:
+    def test_round_trip_and_apply(self, tmp_path):
+        findings = check_source(VIOLATION, path="src/repro/pkg/mod.py")
+        baseline_path = tmp_path / "baseline.json"
+        baseline = write_baseline(findings, baseline_path)
+        assert baseline.total == 1
+        loaded = load_baseline(baseline_path)
+        new, baselined, stale = apply_baseline(findings, loaded)
+        assert new == [] and baselined == 1 and stale == []
+
+    def test_extra_findings_are_not_covered(self, tmp_path):
+        findings = check_source(VIOLATION, path="src/repro/pkg/mod.py")
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(findings, baseline_path)
+        doubled = "def f(x: int = None):\n    return x\n\ndef g(y: str = None):\n    return y\n"
+        more = check_source(doubled, path="src/repro/pkg/mod.py")
+        new, baselined, _ = apply_baseline(more, load_baseline(baseline_path))
+        assert baselined == 1
+        assert [f.line for f in new] == [4]
+
+    def test_fixed_findings_surface_as_stale(self, tmp_path):
+        findings = check_source(VIOLATION, path="src/repro/pkg/mod.py")
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(findings, baseline_path)
+        new, baselined, stale = apply_baseline([], load_baseline(baseline_path))
+        assert new == [] and baselined == 0
+        assert len(stale) == 1 and stale[0].startswith("REP001:")
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("[]")
+        with pytest.raises(StaticCheckError, match="version-1"):
+            load_baseline(bad)
+        bad.write_text(json.dumps({"version": 1, "entries": {"k": 0}}))
+        with pytest.raises(StaticCheckError, match="counts"):
+            load_baseline(bad)
+
+
+class TestWalker:
+    def test_walks_nested_python_files_only(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "notes.txt").write_text("not python\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "a.cpython-312.py").write_text("x = 1\n")
+        (tmp_path / ".hidden").mkdir()
+        (tmp_path / ".hidden" / "b.py").write_text("x = 1\n")
+        files = sorted(p.name for p in iter_python_files([tmp_path]))
+        assert files == ["a.py"]
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(StaticCheckError, match="no such file"):
+            list(iter_python_files([tmp_path / "nope"]))
+
+    def test_check_paths_counts_files(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "pkg"
+        target.mkdir(parents=True)
+        (target / "clean.py").write_text("x = 1\n")
+        (target / "dirty.py").write_text(VIOLATION)
+        findings, files_checked = check_paths([tmp_path])
+        assert files_checked == 2
+        assert [f.rule for f in findings] == ["REP001"]

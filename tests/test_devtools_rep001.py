@@ -1,0 +1,101 @@
+"""REP001 fixtures: annotated non-Optional parameter/field with None default."""
+
+import textwrap
+
+from repro.devtools import check_source
+
+
+def _rep001(source, path="src/repro/example.py"):
+    findings = check_source(textwrap.dedent(source), path=path)
+    return [f for f in findings if f.rule == "REP001"]
+
+
+class TestRep001Positives:
+    def test_positional_parameter(self):
+        findings = _rep001("def f(x: int = None):\n    return x\n")
+        assert len(findings) == 1
+        assert "'x'" in findings[0].message
+        assert findings[0].severity == "error"
+
+    def test_keyword_only_parameter(self):
+        source = """
+        from typing import Sequence
+
+        def f(*, labels: Sequence[str] = None):
+            return labels
+        """
+        findings = _rep001(source)
+        assert len(findings) == 1
+        assert "'labels'" in findings[0].message
+
+    def test_dataclass_field(self):
+        source = """
+        from dataclasses import dataclass
+        from typing import Dict
+
+        @dataclass
+        class Recommendation:
+            candidates: Dict[str, float] = None
+        """
+        findings = _rep001(source)
+        assert len(findings) == 1
+        assert "'candidates'" in findings[0].message
+
+    def test_async_function_parameter(self):
+        findings = _rep001("async def f(x: str = None):\n    return x\n")
+        assert len(findings) == 1
+
+    def test_only_the_none_defaulted_parameter_is_flagged(self):
+        findings = _rep001("def f(a: int, b: float = 1.0, c: str = None):\n    pass\n")
+        assert len(findings) == 1
+        assert "'c'" in findings[0].message
+
+
+class TestRep001Negatives:
+    def test_optional_annotation(self):
+        source = """
+        from typing import Optional
+
+        def f(x: Optional[int] = None):
+            return x
+        """
+        assert _rep001(source) == []
+
+    def test_pep604_union_annotation(self):
+        assert _rep001("def f(x: int | None = None):\n    return x\n") == []
+
+    def test_union_with_none(self):
+        source = """
+        from typing import Union
+
+        def f(x: Union[int, None] = None):
+            return x
+        """
+        assert _rep001(source) == []
+
+    def test_string_annotation_mentioning_optional(self):
+        assert _rep001('def f(x: "Optional[int]" = None):\n    return x\n') == []
+
+    def test_any_annotation(self):
+        source = """
+        from typing import Any
+
+        def f(x: Any = None):
+            return x
+        """
+        assert _rep001(source) == []
+
+    def test_unannotated_parameter(self):
+        assert _rep001("def f(x=None):\n    return x\n") == []
+
+    def test_non_none_default(self):
+        assert _rep001("def f(x: int = 3):\n    return x\n") == []
+
+    def test_optional_dataclass_field(self):
+        source = """
+        from typing import Optional
+
+        class C:
+            value: Optional[int] = None
+        """
+        assert _rep001(source) == []

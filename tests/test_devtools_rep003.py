@@ -1,0 +1,47 @@
+"""REP003 fixtures: shared-memory lifecycle outside the ShmRegistry."""
+
+import textwrap
+
+from repro.devtools import check_source
+
+
+def _rep003(source, path="src/repro/session/store.py"):
+    findings = check_source(textwrap.dedent(source), path=path)
+    return [f for f in findings if f.rule == "REP003"]
+
+
+class TestRep003Positives:
+    def test_shared_memory_create(self):
+        findings = _rep003("shm = SharedMemory(create=True, size=64)\n")
+        assert len(findings) == 1
+        assert "ShmRegistry" in findings[0].message
+
+    def test_qualified_shared_memory_create(self):
+        source = "seg = shared_memory.SharedMemory(create=True, name=name, size=n)\n"
+        assert len(_rep003(source)) == 1
+
+    def test_unlink_on_shm_receiver(self):
+        assert len(_rep003("self._shm.unlink()\n")) == 1
+
+    def test_unlink_on_segment_receiver(self):
+        assert len(_rep003("segment.unlink()\n")) == 1
+
+
+class TestRep003Negatives:
+    def test_shm_registry_module_is_exempt(self):
+        source = "probe = shared_memory.SharedMemory(create=True, size=16)\nprobe.unlink()\n"
+        assert _rep003(source, path="src/repro/engine/shm_registry.py") == []
+
+    def test_attach_without_create_is_fine(self):
+        assert _rep003("shm = shared_memory.SharedMemory(name=name)\n") == []
+
+    def test_create_false_is_fine(self):
+        assert _rep003("shm = SharedMemory(create=False, name=name)\n") == []
+
+    def test_path_unlink_is_not_shared_memory(self):
+        assert _rep003("artifact_path.unlink()\n") == []
+        assert _rep003("Path(tmp).unlink()\n") == []
+
+    def test_tests_are_exempt(self):
+        source = "shm = SharedMemory(create=True, size=8)\n"
+        assert _rep003(source, path="tests/test_shm_leaks.py") == []

@@ -1,0 +1,99 @@
+"""REP004 fixtures: blocking calls inside async def in the serve daemon."""
+
+import textwrap
+
+from repro.devtools import check_source
+
+SERVE_PATH = "src/repro/serve/router.py"
+
+
+def _rep004(source, path=SERVE_PATH):
+    findings = check_source(textwrap.dedent(source), path=path)
+    return [f for f in findings if f.rule == "REP004"]
+
+
+class TestRep004Positives:
+    def test_time_sleep_in_async_def(self):
+        source = """
+        async def handler(request):
+            time.sleep(0.1)
+        """
+        findings = _rep004(source)
+        assert len(findings) == 1
+        assert "asyncio.sleep" in findings[0].message
+
+    def test_subprocess_in_async_def(self):
+        source = """
+        async def handler(request):
+            subprocess.run(["ls"])
+        """
+        assert len(_rep004(source)) == 1
+
+    def test_requests_in_async_def(self):
+        source = """
+        async def handler(request):
+            return requests.get(url)
+        """
+        assert len(_rep004(source)) == 1
+
+    def test_sync_open_in_async_def(self):
+        source = """
+        async def handler(request):
+            return open(path).read()
+        """
+        assert len(_rep004(source)) == 1
+
+    def test_urllib_in_async_def(self):
+        source = """
+        async def handler(request):
+            return urllib.request.urlopen(url)
+        """
+        assert len(_rep004(source)) == 1
+
+    def test_nested_async_def_is_still_async(self):
+        source = """
+        async def outer():
+            async def inner():
+                time.sleep(1)
+        """
+        assert len(_rep004(source)) == 1
+
+
+class TestRep004Negatives:
+    def test_asyncio_sleep_is_fine(self):
+        source = """
+        async def tick(self):
+            await asyncio.sleep(self.window_seconds)
+        """
+        assert _rep004(source) == []
+
+    def test_sync_function_may_block(self):
+        source = """
+        def preload(self):
+            time.sleep(0.1)
+            return open(path).read()
+        """
+        assert _rep004(source) == []
+
+    def test_executor_payload_nested_sync_def_is_exempt(self):
+        source = """
+        async def flush(self):
+            def run_batch():
+                return open(path).read()
+            return await loop.run_in_executor(None, run_batch)
+        """
+        assert _rep004(source) == []
+
+    def test_executor_payload_lambda_is_exempt(self):
+        source = """
+        async def flush(self):
+            return await loop.run_in_executor(None, lambda: time.sleep(1))
+        """
+        assert _rep004(source) == []
+
+    def test_rule_is_scoped_to_serve(self):
+        source = """
+        async def helper():
+            time.sleep(1)
+        """
+        assert _rep004(source, path="src/repro/engine/parallel.py") == []

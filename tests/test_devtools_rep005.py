@@ -1,0 +1,50 @@
+"""REP005 fixtures: deprecated shims outside tests and defining modules."""
+
+import textwrap
+
+from repro.devtools import check_source
+
+
+def _rep005(source, path="src/repro/metrics/partition_metrics.py"):
+    findings = check_source(textwrap.dedent(source), path=path)
+    return [f for f in findings if f.rule == "REP005"]
+
+
+class TestRep005Positives:
+    def test_vertex_partitions_method_call(self):
+        findings = _rep005("parts = assignment.vertex_partitions()\n")
+        assert len(findings) == 1
+        assert "membership()" in findings[0].message
+
+    def test_pocek_alias_literal(self):
+        findings = _rep005('graph = load_dataset("pocek")\n')
+        assert len(findings) == 1
+        assert "pokec" in findings[0].message
+
+
+class TestRep005Negatives:
+    def test_tests_may_pin_the_shims(self):
+        source = 'assignment.vertex_partitions()\nload_dataset("pocek")\n'
+        assert _rep005(source, path="tests/test_datasets_catalog.py") == []
+
+    def test_defining_modules_are_exempt(self):
+        assert (
+            _rep005(
+                "self.vertex_partitions().items()",
+                path="src/repro/partitioning/base.py",
+            )
+            == []
+        )
+        assert (
+            _rep005(
+                '_DEPRECATED_ALIASES = {"pocek": "pokec"}',
+                path="src/repro/datasets/catalog.py",
+            )
+            == []
+        )
+
+    def test_reference_variant_is_a_different_api(self):
+        assert _rep005("assignment.vertex_partitions_reference()\n") == []
+
+    def test_correct_dataset_spelling(self):
+        assert _rep005('graph = load_dataset("pokec")\n') == []

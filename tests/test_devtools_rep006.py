@@ -1,0 +1,56 @@
+"""REP006 fixtures: non-canonical name literals in comparisons."""
+
+import textwrap
+
+from repro.devtools import check_source
+
+
+def _rep006(source, path="src/repro/analysis/advisor.py"):
+    findings = check_source(textwrap.dedent(source), path=path)
+    return [f for f in findings if f.rule == "REP006"]
+
+
+class TestRep006Positives:
+    def test_lowercase_algorithm_literal(self):
+        findings = _rep006('if name == "pr":\n    pass\n')
+        assert len(findings) == 1
+        assert "'PR'" in findings[0].message
+
+    def test_lowercase_partitioner_literal(self):
+        findings = _rep006('if algo.lower() == "hybrid":\n    pass\n')
+        assert len(findings) == 1
+        assert "'Hybrid'" in findings[0].message
+
+    def test_literal_on_the_left(self):
+        assert len(_rep006('ok = "2d" == spec.partitioner\n')) == 1
+
+    def test_membership_in_literal_tuple(self):
+        findings = _rep006('if name in ("pr", "cc"):\n    pass\n')
+        assert len(findings) == 2
+
+    def test_long_form_alias_literal(self):
+        findings = _rep006('if name == "PageRank":\n    pass\n')
+        assert len(findings) == 1
+        assert "canonical_algorithm_name" in findings[0].message
+
+
+class TestRep006Negatives:
+    def test_canonical_spellings_are_the_normal_idiom(self):
+        source = """
+        if key == "PR":
+            pass
+        if key in ("CC", "SSSP"):
+            pass
+        if partitioner == "Hybrid":
+            pass
+        """
+        assert _rep006(source) == []
+
+    def test_dict_membership_with_literal_needle(self):
+        assert _rep006('present = "triangles" in row\n') == []
+
+    def test_unrelated_string_comparisons(self):
+        assert _rep006('if direction == "in":\n    pass\n') == []
+
+    def test_tests_are_exempt(self):
+        assert _rep006('assert name == "pr"\n', path="tests/test_cli.py") == []

@@ -1,0 +1,84 @@
+"""REP007 fixtures: bare except / swallowed KeyError in engine routing."""
+
+import textwrap
+
+from repro.devtools import check_source
+
+ENGINE_PATH = "src/repro/engine/routing.py"
+
+
+def _rep007(source, path=ENGINE_PATH):
+    findings = check_source(textwrap.dedent(source), path=path)
+    return [f for f in findings if f.rule == "REP007"]
+
+
+class TestRep007Positives:
+    def test_bare_except_in_library_code(self):
+        source = """
+        try:
+            deliver(message)
+        except:
+            pass
+        """
+        findings = _rep007(source, path="src/repro/session/session.py")
+        assert len(findings) == 1
+        assert "bare except" in findings[0].message
+
+    def test_swallowed_keyerror_in_engine(self):
+        source = """
+        try:
+            mailbox = mailboxes[target]
+        except KeyError:
+            pass
+        """
+        findings = _rep007(source)
+        assert len(findings) == 1
+        assert "EngineError" in findings[0].message
+
+    def test_swallowed_keyerror_tuple_with_continue(self):
+        source = """
+        for target in targets:
+            try:
+                route(target)
+            except (KeyError, IndexError):
+                continue
+        """
+        assert len(_rep007(source)) == 1
+
+    def test_swallowed_keyerror_with_ellipsis_body(self):
+        source = """
+        try:
+            route(target)
+        except KeyError:
+            ...
+        """
+        assert len(_rep007(source)) == 1
+
+
+class TestRep007Negatives:
+    def test_handled_keyerror_is_fine(self):
+        source = """
+        try:
+            mailbox = mailboxes[target]
+        except KeyError:
+            raise EngineError(f"unknown message target {target!r}")
+        """
+        assert _rep007(source) == []
+
+    def test_swallowed_keyerror_outside_engine_is_fine(self):
+        source = """
+        try:
+            value = cache[key]
+        except KeyError:
+            pass
+        """
+        assert _rep007(source, path="src/repro/serve/cache.py") == []
+
+    def test_named_broad_exception_is_not_a_bare_except(self):
+        source = """
+        try:
+            run()
+        except Exception as exc:
+            log(exc)
+        """
+        assert _rep007(source) == []

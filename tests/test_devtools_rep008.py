@@ -1,0 +1,44 @@
+"""REP008 fixtures: unseeded randomness in library code."""
+
+import textwrap
+
+from repro.devtools import check_source
+
+
+def _rep008(source, path="src/repro/datasets/generators.py"):
+    findings = check_source(textwrap.dedent(source), path=path)
+    return [f for f in findings if f.rule == "REP008"]
+
+
+class TestRep008Positives:
+    def test_unseeded_default_rng(self):
+        findings = _rep008("rng = np.random.default_rng()\n")
+        assert len(findings) == 1
+        assert "seed" in findings[0].message
+
+    def test_unseeded_bare_default_rng(self):
+        assert len(_rep008("rng = default_rng()\n")) == 1
+
+    def test_module_level_random_call(self):
+        findings = _rep008("value = random.random()\n")
+        assert len(findings) == 1
+        assert "global RNG state" in findings[0].message
+
+    def test_module_level_shuffle(self):
+        assert len(_rep008("random.shuffle(order)\n")) == 1
+
+
+class TestRep008Negatives:
+    def test_seeded_default_rng(self):
+        assert _rep008("rng = np.random.default_rng(seed)\n") == []
+        assert _rep008("rng = default_rng(0)\n") == []
+        assert _rep008("rng = np.random.default_rng(seed=seed)\n") == []
+
+    def test_seeded_random_instance(self):
+        assert _rep008("rng = random.Random(seed)\n") == []
+
+    def test_generator_instance_methods_are_fine(self):
+        assert _rep008("value = rng.random()\n") == []
+
+    def test_tests_are_exempt(self):
+        assert _rep008("random.random()\n", path="tests/test_sampling.py") == []
