@@ -33,7 +33,10 @@ class ReferenceBackend(Backend):
     uses_partitioning = True
 
     def _as_partitioned(self, graph: GraphLike) -> PartitionedGraph:
-        if isinstance(graph, PartitionedGraph):
+        # Duck-typed: repro.ooc.ShardedGraph carries partitions/routing/
+        # membership without subclassing PartitionedGraph, and must not be
+        # re-partitioned (that would materialise its mmapped edges).
+        if isinstance(graph, PartitionedGraph) or hasattr(graph, "partitions"):
             return graph
         return PartitionedGraph.partition(graph, _DEFAULT_STRATEGY, 1)
 

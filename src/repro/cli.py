@@ -1,12 +1,13 @@
 """Command-line interface for the reproduction.
 
-Provides eight sub-commands mirroring the evaluation workflow::
+Provides nine sub-commands mirroring the evaluation workflow::
 
     python -m repro.cli characterize                 # Table 1
     python -m repro.cli metrics --partitions 128     # Table 2 / 3
     python -m repro.cli run --algorithm PR --partitions 128
     python -m repro.cli sweep --algorithms PR CC --partitions 128 256
     python -m repro.cli advise --dataset orkut --algorithm PR
+    python -m repro.cli ingest --dataset pokec --cache-dir .repro-cache
     python -m repro.cli cache info --cache-dir .repro-cache
     python -m repro.cli serve --datasets youtube --partitions 16
     python -m repro.cli check --list-rules           # static analysis
@@ -27,8 +28,15 @@ restarts are warm).  ``--cache-dir DIR`` attaches a persistent
 choices and completed cells survive the process, so repeating — or
 resuming an interrupted — sweep re-runs only what is missing
 (``--resume`` makes that expectation explicit and fails without a cache
-directory).  ``cache`` inspects (``info``) or empties (``clear``) such a
-store.  ``check`` runs the project-native static analyser of
+directory).  ``ingest`` is the out-of-core front door of
+:mod:`repro.ooc`: it streams an edge-list file, a catalog dataset or a
+synthetic generator through a streaming partitioner in bounded chunks and
+publishes the result as a content-addressed *shard* artifact — per-
+partition edge files that later runs memory-map instead of loading, so
+``repro run --out-of-core`` (PR/CC/SSSP on the reference backend)
+executes graphs larger than RAM with bit-identical placements, vertex
+values and superstep counters.  ``cache`` inspects (``info``) or empties
+(``clear``) such a store, shards included.  ``check`` runs the project-native static analyser of
 :mod:`repro.devtools` — the REP rules encoding the engine's invariants —
 and exits 1 on any finding that is neither ``# repro: noqa[REP###]``
 suppressed nor grandfathered in a ``--baseline`` JSON file.
@@ -61,7 +69,7 @@ from .datasets.characterization import build_table1, format_table1
 from .engine.partitioned_graph import PartitionedGraph
 from .errors import AnalysisError, PartitioningError, ReproError
 from .metrics.report import format_metrics_table, format_table
-from .partitioning.registry import canonical_partitioner_name
+from .partitioning.registry import PAPER_PARTITIONER_NAMES, canonical_partitioner_name
 from .session import ArtifactStore, Session
 
 __all__ = ["main", "build_parser"]
@@ -213,6 +221,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="shared-memory Pregel workers per run (default: serial); "
         "results are bit-identical at any worker count",
     )
+    run_parser.add_argument(
+        "--out-of-core",
+        action="store_true",
+        help="execute over memory-mapped shard artifacts instead of "
+        "in-memory partitions (requires --cache-dir; PR/CC/SSSP on the "
+        "reference backend; results are bit-identical)",
+    )
+    run_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="artifact store holding (or receiving) the shards used by "
+        "--out-of-core; pre-populate it with 'repro ingest'",
+    )
+    run_parser.add_argument(
+        "--chunk-edges",
+        type=_positive_int,
+        default=None,
+        help="edges per superstep chunk in --out-of-core execution "
+        "(default: the ooc module's chunk size)",
+    )
 
     sweep_parser = subparsers.add_parser(
         "sweep",
@@ -291,6 +319,78 @@ def build_parser() -> argparse.ArgumentParser:
         "serial); composes with --workers, which parallelises across cells",
     )
 
+    ingest_parser = subparsers.add_parser(
+        "ingest",
+        help="stream a graph into content-addressed shard artifacts",
+        parents=[global_flags],
+    )
+    ingest_parser.add_argument(
+        "edge_list",
+        nargs="?",
+        default=None,
+        help="path to a SNAP-style edge-list file to ingest (omit to "
+        "ingest a catalog dataset via --dataset, or --synthetic)",
+    )
+    ingest_parser.add_argument(
+        "--dataset",
+        default=None,
+        help="catalog dataset to ingest, or the dataset label for an "
+        "edge-list / synthetic source (default: file name / 'synthetic')",
+    )
+    ingest_parser.add_argument(
+        "--synthetic",
+        action="store_true",
+        help="generate the edge stream instead of reading it "
+        "(power-law endpoints; requires --vertices and --edges)",
+    )
+    ingest_parser.add_argument(
+        "--vertices",
+        type=_positive_int,
+        default=None,
+        help="vertex-id space size for --synthetic",
+    )
+    ingest_parser.add_argument(
+        "--edges",
+        type=_positive_int,
+        default=None,
+        help="edge count for --synthetic",
+    )
+    ingest_parser.add_argument(
+        "--skew",
+        type=float,
+        default=2.0,
+        help="power-law skew for --synthetic; 1.0 is uniform (default: 2.0)",
+    )
+    ingest_parser.add_argument(
+        "--delimiter",
+        default=None,
+        help="field delimiter for edge-list files (default: any whitespace)",
+    )
+    ingest_parser.add_argument(
+        "--partitioner",
+        type=_partitioner_name,
+        default="Greedy",
+        help="streaming partitioning strategy (default: Greedy)",
+    )
+    ingest_parser.add_argument("--partitions", type=_positive_int, default=128)
+    ingest_parser.add_argument(
+        "--chunk-edges",
+        type=_positive_int,
+        default=None,
+        help="edges per ingest chunk — the peak-memory knob "
+        "(default: the ooc module's chunk size)",
+    )
+    ingest_parser.add_argument(
+        "--cache-dir",
+        required=True,
+        help="artifact store directory receiving the shard",
+    )
+    ingest_parser.add_argument(
+        "--force",
+        action="store_true",
+        help="rebuild the shard even when the store already has it",
+    )
+
     cache_parser = subparsers.add_parser(
         "cache",
         help="inspect or clear a persistent artifact store",
@@ -302,7 +402,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache_parser.add_argument(
         "--kind",
-        choices=["placements", "landmarks", "records"],
+        choices=["placements", "landmarks", "records", "shards"],
         default=None,
         help="restrict 'clear' to one artifact kind (default: all)",
     )
@@ -461,7 +561,87 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_run_out_of_core(args: argparse.Namespace) -> int:
+    """``repro run --out-of-core``: execute over memory-mapped shards.
+
+    Placements, vertex values and ``SuperstepRecord`` counters are
+    bit-identical to the in-memory path; only the residency story changes
+    (each partition's edges are a read-only mmap view, touched one chunk
+    at a time and dropped after its superstep pass).
+    """
+    # Import here: the out-of-core stack is irrelevant to in-memory runs.
+    from .algorithms.registry import canonical_algorithm_name
+    from .ooc import DEFAULT_CHUNK_EDGES
+
+    if not args.cache_dir:
+        raise AnalysisError(
+            "--out-of-core requires --cache-dir (shards are on-disk artifacts; "
+            "pre-populate the store with 'repro ingest')"
+        )
+    algorithm = canonical_algorithm_name(args.algorithm)
+    if algorithm == "TR":
+        raise AnalysisError(
+            "triangle counting materialises whole adjacency sets and is not "
+            "available out-of-core; choose PR, CC or SSSP"
+        )
+    if args.backend != "reference":
+        raise AnalysisError(
+            "--out-of-core runs on the reference backend only "
+            f"(got {args.backend!r})"
+        )
+    if args.engine_workers is not None:
+        raise AnalysisError(
+            "--engine-workers forks in-memory partitions and does not compose "
+            "with --out-of-core (supersteps already stream one chunk at a time)"
+        )
+    datasets = list(args.datasets or PAPER_DATASET_NAMES)
+    for name in datasets:
+        get_spec(name)
+    partitioners = args.partitioners or PAPER_PARTITIONER_NAMES
+    chunk_edges = args.chunk_edges or DEFAULT_CHUNK_EDGES
+    session = Session(scale=args.scale, seed=args.seed, store=args.cache_dir)
+    rows = []
+    for dataset in datasets:
+        for partitioner in partitioners:
+            sharded = session.sharded_partition(
+                dataset, partitioner, args.partitions, chunk_edges=chunk_edges
+            )
+            result = run_algorithm(
+                algorithm, sharded, num_iterations=args.iterations
+            )
+            simulated = (
+                result.simulated_seconds if result.report is not None else ""
+            )
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "partitioner": partitioner,
+                    "algorithm": algorithm,
+                    "partitions": args.partitions,
+                    "supersteps": result.num_supersteps,
+                    "simulated_s": simulated,
+                    "wall_s": result.wall_seconds,
+                }
+            )
+            sharded.release()
+    print(format_table(rows))
+    print()
+    stats = session.stats
+    print(
+        f"Shard store: {stats.disk_shard_hits} disk hits, "
+        f"{stats.disk_shard_misses} misses, {stats.shard_builds} shard builds."
+    )
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.out_of_core:
+        return _cmd_run_out_of_core(args)
+    if args.cache_dir or args.chunk_edges:
+        raise AnalysisError(
+            "--cache-dir/--chunk-edges only apply to 'run' together with "
+            "--out-of-core (use 'sweep' for cached in-memory grids)"
+        )
     config_kwargs = {}
     if args.partitioners:
         config_kwargs["partitioners"] = args.partitioners
@@ -581,6 +761,79 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    # Import here: the out-of-core stack is irrelevant to every other
+    # sub-command (same pattern as the serve daemon).
+    from .ooc import (
+        DEFAULT_CHUNK_EDGES,
+        EdgeListChunkSource,
+        GraphChunkSource,
+        SyntheticChunkSource,
+    )
+    from .ooc.ingest import ingest_source
+
+    chunk_edges = args.chunk_edges or DEFAULT_CHUNK_EDGES
+    if args.edge_list is not None and args.synthetic:
+        raise AnalysisError("an edge-list path and --synthetic are mutually exclusive")
+    if args.edge_list is not None:
+        source = EdgeListChunkSource(
+            args.edge_list,
+            delimiter=args.delimiter,
+            name=args.dataset or "",
+            chunk_edges=chunk_edges,
+        )
+    elif args.synthetic:
+        if args.vertices is None or args.edges is None:
+            raise AnalysisError("--synthetic requires --vertices and --edges")
+        source = SyntheticChunkSource(
+            args.vertices,
+            args.edges,
+            seed=args.seed,
+            skew=args.skew,
+            name=args.dataset or "synthetic",
+            chunk_edges=chunk_edges,
+        )
+    elif args.dataset:
+        # Catalog datasets go through GraphChunkSource so the shard key —
+        # (name, partitioner, partitions, scale, seed) — matches what
+        # Session.sharded_partition computes, making this a warm-up for
+        # 'repro run --out-of-core' against the same --cache-dir.
+        get_spec(args.dataset)
+        graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        source = GraphChunkSource(graph, chunk_edges=chunk_edges)
+    else:
+        raise AnalysisError(
+            "nothing to ingest: give an edge-list path, --dataset NAME, "
+            "or --synthetic --vertices N --edges M"
+        )
+    store = ArtifactStore(args.cache_dir)
+    sharded, report = ingest_source(
+        store,
+        source,
+        args.partitioner,
+        args.partitions,
+        scale=args.scale,
+        seed=args.seed,
+        chunk_edges=chunk_edges,
+        force=args.force,
+    )
+    sharded.release()
+    verb = "reused" if report.reused else "built"
+    print(
+        f"Ingested {report.dataset!r} with {report.partitioner} at "
+        f"{report.num_partitions} partitions: {report.num_edges:,} edges, "
+        f"{report.num_vertices:,} vertices, replication factor "
+        f"{report.replication_factor:.2f} ({verb} shard in "
+        f"{report.elapsed_seconds:.2f}s)."
+    )
+    disk = store.stats("shards")
+    print(
+        f"Shard store at {store.root}: {disk.hits} disk hits, "
+        f"{disk.misses} misses."
+    )
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     store = ArtifactStore(args.cache_dir)
     if args.action == "info":
@@ -589,6 +842,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"  placements: {info.placements}")
         print(f"  landmarks:  {info.landmarks}")
         print(f"  records:    {info.records}")
+        print(f"  shards:     {info.shards}")
         print(f"  total:      {info.total_artifacts} artifacts, {info.total_bytes:,} bytes")
         return 0
     removed = store.clear(kind=args.kind)
@@ -700,6 +954,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "sweep": _cmd_sweep,
         "advise": _cmd_advise,
+        "ingest": _cmd_ingest,
         "cache": _cmd_cache,
         "serve": _cmd_serve,
         "check": _cmd_check,

@@ -58,30 +58,18 @@ def read_edge_list(path: PathLike, delimiter: Optional[str] = None, name: str = 
     Lines starting with ``#`` or ``%`` are treated as comments.  Each other
     line must contain at least two integer fields (source and destination);
     any additional fields are ignored.
+
+    Implemented on the chunked reader from :mod:`repro.ooc.chunks` (the
+    seed appended two Python ints per edge into ever-growing lists), so
+    parsing runs in bounded batches; accepted values and ``GraphIOError``
+    diagnostics are identical to the seed loop.
     """
-    src = []
-    dst = []
-    try:
-        with open(path, "r", encoding="utf-8") as handle:
-            for line_number, line in enumerate(handle, start=1):
-                stripped = line.strip()
-                if not stripped or stripped.startswith("#") or stripped.startswith("%"):
-                    continue
-                fields = stripped.split(delimiter)
-                if len(fields) < 2:
-                    raise GraphIOError(
-                        f"{path}:{line_number}: expected at least two fields, got {stripped!r}"
-                    )
-                try:
-                    src.append(int(fields[0]))
-                    dst.append(int(fields[1]))
-                except ValueError as exc:
-                    raise GraphIOError(
-                        f"{path}:{line_number}: non-integer vertex id in {stripped!r}"
-                    ) from exc
-    except OSError as exc:
-        raise GraphIOError(f"cannot read edge list {path}: {exc}") from exc
-    return Graph(src, dst, name=name or os.path.basename(str(path)))
+    # Imported lazily: repro.ooc pulls in the shard/session stack, which
+    # itself imports this module.
+    from ..ooc.chunks import EdgeListChunkSource, materialize
+
+    source = EdgeListChunkSource(path, delimiter=delimiter)
+    return materialize(source, name=name or os.path.basename(str(path)))
 
 
 def write_edge_list(graph: Graph, path: PathLike, delimiter: str = "\t", header: bool = True) -> None:

@@ -16,6 +16,7 @@ from . import (  # noqa: F401
     rep006_canonical_names,
     rep007_swallowed_errors,
     rep008_unseeded_random,
+    rep009_whole_graph_materialization,
 )
 
 from .common import in_library, in_tests, under  # noqa: F401

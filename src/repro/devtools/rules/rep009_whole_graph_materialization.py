@@ -1,0 +1,95 @@
+"""REP009: whole-graph materialisation inside the out-of-core path.
+
+PR 9's bounded-memory guarantee — ingest and execution peak at
+``O(chunk_edges + vertices)``, never ``O(edges)`` — holds only while the
+out-of-core modules (``repro/ooc/``) and the streaming partitioners
+(``partitioning/greedy.py``, ``partitioning/streaming.py``) touch edges
+one bounded chunk at a time.  A single call that realises the full edge
+list silently re-inflates the resident set to the in-memory path's and
+turns the ``bench_out_of_core`` RSS assertion into a coin flip.
+
+Flags, inside those files:
+
+* calls to the whole-graph accessor methods ``.edges()``,
+  ``.edge_set()`` and ``.edge_pairs()`` (including wrapped forms such as
+  ``list(graph.edge_pairs())`` — the inner call is what is flagged);
+* full-array copies of a graph's edge columns: ``np.asarray``,
+  ``np.array``, ``np.copy`` or ``np.fromiter`` applied to an attribute
+  chain ending in ``.src`` or ``.dst`` (slicing a bounded view stays
+  legal; copying the whole column does not).
+
+Deliberate exceptions (e.g. the equivalence-mode bridge that rebuilds an
+in-memory graph from a shard on request) carry ``# repro: noqa[REP009]``
+with a comment saying why the materialisation is intended.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Reporter, rule
+from .common import dotted_name
+
+#: Accessors that realise every edge of the receiver at once.
+_MATERIALIZING_METHODS = frozenset({"edges", "edge_set", "edge_pairs"})
+
+#: numpy constructors that copy their argument wholesale.
+_COPYING_CONSTRUCTORS = frozenset(
+    {"np.asarray", "np.array", "np.copy", "np.fromiter", "numpy.asarray", "numpy.array", "numpy.copy", "numpy.fromiter"}
+)
+
+#: Edge-column attributes whose full copy is an O(edges) allocation.
+_EDGE_COLUMNS = frozenset({"src", "dst"})
+
+#: Path fragments the rule applies to: the out-of-core package plus the
+#: streaming partitioners its ingest path drives.
+_STREAMING_FRAGMENTS = (
+    "repro/ooc/",
+    "partitioning/greedy.py",
+    "partitioning/streaming.py",
+)
+
+
+def _applies(path: str) -> bool:
+    return any(fragment in path for fragment in _STREAMING_FRAGMENTS)
+
+
+@rule(
+    "REP009",
+    severity="error",
+    description="whole-graph materialisation in out-of-core/streaming code",
+    rationale="the out-of-core path's bounded-memory guarantee requires "
+    "edges to be touched one chunk at a time, never realised wholesale",
+    applies=_applies,
+)
+class WholeGraphMaterializationRule(ast.NodeVisitor):
+    def __init__(self, reporter: Reporter) -> None:
+        self.reporter = reporter
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MATERIALIZING_METHODS
+        ):
+            receiver = dotted_name(node.func.value) or "<expr>"
+            self.reporter.report(
+                node,
+                f"{receiver}.{node.func.attr}() realises every edge at once; "
+                "stream bounded (src, dst) chunks instead "
+                "(EdgeChunkSource.chunks / assign_chunk)",
+            )
+        name = dotted_name(node.func)
+        if name in _COPYING_CONSTRUCTORS and node.args:
+            target = node.args[0]
+            if (
+                isinstance(target, ast.Attribute)
+                and target.attr in _EDGE_COLUMNS
+            ):
+                column = dotted_name(target) or f"<expr>.{target.attr}"
+                self.reporter.report(
+                    node,
+                    f"{name}({column}) copies a full edge column "
+                    "(O(edges) resident); slice a bounded view per chunk "
+                    "instead",
+                )
+        self.generic_visit(node)

@@ -241,6 +241,24 @@ def pregel(
     report.load_seconds = model.load_seconds(pgraph.dataset_bytes)
 
     if message_kernel is not None:
+        if getattr(pgraph, "stream_supersteps", False):
+            # Out-of-core graphs opt into the partition-at-a-time executor,
+            # which never materialises the global triplet arrays.
+            from ..ooc.pregel_stream import pregel_stream_supersteps
+
+            return pregel_stream_supersteps(
+                pgraph,
+                initial_values,
+                message_kernel,
+                max_iterations=max_iterations,
+                active_direction=active_direction,
+                cluster=cluster,
+                model=model,
+                report=report,
+                edge_compute_units=edge_compute_units,
+                vertex_compute_units=vertex_compute_units,
+                always_active=always_active,
+            )
         workers = 1 if parallel_workers is None else int(parallel_workers)
         if (
             workers > 1
@@ -276,6 +294,12 @@ def pregel(
             edge_compute_units=edge_compute_units,
             vertex_compute_units=vertex_compute_units,
             always_active=always_active,
+        )
+
+    if getattr(pgraph, "stream_supersteps", False):
+        raise EngineError(
+            "out-of-core graphs require an array message kernel; the scalar "
+            "Pregel loop would materialise every partition's edges in memory"
         )
 
     values: Dict[int, Any] = dict(initial_values)

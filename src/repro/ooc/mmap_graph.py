@@ -1,0 +1,366 @@
+"""Memory-mapped partitioned graphs served from shard artifacts.
+
+:class:`ShardedGraph` is the out-of-core counterpart of
+:class:`~repro.engine.partitioned_graph.PartitionedGraph`: the same facade
+(``graph`` vertex table, ``partitions``, ``routing``, ``triplets()``,
+``dataset_bytes``) built from a shard artifact instead of in-memory edge
+arrays.  Only the vertex-scale state lives in RAM — vertex ids, degrees
+and the replication membership, exactly the state GraphX keeps in its
+vertex RDD — while every partition's edges stay on disk and are served as
+``np.load(mmap_mode="r")`` read-only views, so the Pregel engine touches
+at most one partition's pages at a time.
+
+Because :class:`ShardEdgePartition` exposes the same ``local_triplets()``
+/ ``vertex_ids`` / ``num_edges`` surface as
+:class:`~repro.engine.edge_partition.EdgePartition`, the existing array
+engine (``build_triplets`` and everything behind it) runs on a sharded
+graph unchanged; :attr:`ShardedGraph.stream_supersteps` additionally opts
+it into the partition-at-a-time superstep executor in
+:mod:`repro.ooc.pregel_stream`.
+"""
+
+from __future__ import annotations
+
+import mmap
+import zipfile
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.properties import estimated_size_bytes
+from ..engine.messaging import TripletArrays, build_triplets
+from ..engine.routing import RoutingTable
+from ..partitioning.membership import VertexMembership
+from ..session.store import ArtifactStore
+from .chunks import DEFAULT_CHUNK_EDGES
+from .shards import partition_member_name
+
+__all__ = ["ShardEdgePartition", "ShardedGraph", "load_sharded_graph"]
+
+
+class _ShardVertexTable:
+    """The vertex-scale view of a sharded graph (the ``.graph`` facade).
+
+    Quacks like :class:`~repro.core.graph.Graph` for everything the
+    algorithms and the engine read from ``pgraph.graph`` — vertex ids,
+    counts and degree maps — without ever materialising an edge array.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        vertex_ids: np.ndarray,
+        out_degree: np.ndarray,
+        in_degree: np.ndarray,
+        num_edges: int,
+    ) -> None:
+        self.name = name
+        self._vertex_ids = np.asarray(vertex_ids, dtype=np.int64)
+        self._out_degree = np.asarray(out_degree, dtype=np.int64)
+        self._in_degree = np.asarray(in_degree, dtype=np.int64)
+        self._num_edges = int(num_edges)
+        self._degree_maps: Dict[str, dict] = {}
+
+    @property
+    def vertex_ids(self) -> np.ndarray:
+        """Sorted array of all vertex ids."""
+        return self._vertex_ids
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self._vertex_ids.size)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def _degree_map(self, key: str, degrees: np.ndarray) -> dict:
+        cached = self._degree_maps.get(key)
+        if cached is None:
+            cached = dict(zip(self._vertex_ids.tolist(), degrees.tolist()))
+            self._degree_maps[key] = cached
+        return dict(cached)
+
+    def out_degrees(self) -> dict:
+        """``{vertex_id: out-degree}`` for every vertex (zeros included)."""
+        return self._degree_map("out", self._out_degree)
+
+    def in_degrees(self) -> dict:
+        """``{vertex_id: in-degree}`` for every vertex (zeros included)."""
+        return self._degree_map("in", self._in_degree)
+
+    def degrees(self) -> dict:
+        """``{vertex_id: total degree}`` (in + out) for every vertex."""
+        out = self.out_degrees()
+        for vertex, degree in self.in_degrees().items():
+            out[vertex] += degree
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"_ShardVertexTable(name={self.name!r}, vertices={self.num_vertices}, "
+            f"edges={self.num_edges})"
+        )
+
+
+class ShardEdgePartition:
+    """One partition's edges, memory-mapped from its shard sidecar.
+
+    ``local_triplets()`` returns the on-disk ``(2, edges)`` array's rows as
+    read-only views straight out of ``np.load(mmap_mode="r")`` — the pages
+    are faulted in as the engine scans them and dropped again by
+    :meth:`release`, so resident memory never exceeds the pages of the
+    partition currently being processed.
+    """
+
+    def __init__(
+        self,
+        partition_id: int,
+        path: Optional[str],
+        num_edges: int,
+        vertex_ids: np.ndarray,
+    ) -> None:
+        self.partition_id = int(partition_id)
+        self.path = path
+        self._num_edges = int(num_edges)
+        self.vertex_ids = np.asarray(vertex_ids, dtype=np.int64)
+        self._mapped: Optional[np.ndarray] = None
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self.vertex_ids.size)
+
+    def local_triplets(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The partition's edges as indices into its ``vertex_ids`` mirror list.
+
+        Same contract as :meth:`EdgePartition.local_triplets`, served from
+        the memory-mapped sidecar: read-only, stable across calls until
+        :meth:`release`.
+        """
+        if self._num_edges == 0 or self.path is None:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        if self._mapped is None:
+            self._mapped = np.load(self.path, mmap_mode="r")
+        return self._mapped[0], self._mapped[1]
+
+    def release(self) -> None:
+        """Drop the mapping (and ask the kernel to evict its pages)."""
+        mapped = self._mapped
+        self._mapped = None
+        if mapped is None:
+            return
+        base = getattr(mapped, "_mmap", None)
+        if base is not None:
+            try:
+                base.madvise(mmap.MADV_DONTNEED)
+            except (AttributeError, OSError, ValueError):  # pragma: no cover
+                pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardEdgePartition(id={self.partition_id}, edges={self.num_edges}, "
+            f"vertices={self.num_vertices})"
+        )
+
+
+class ShardedGraph:
+    """A partitioned graph whose edges live in a shard artifact.
+
+    Drop-in for :class:`~repro.engine.partitioned_graph.PartitionedGraph`
+    wherever the engine and the algorithms are concerned.  The
+    :attr:`stream_supersteps` flag routes :func:`repro.engine.pregel.pregel`
+    to the partition-at-a-time executor; flipping it to ``False`` on an
+    instance forces the ordinary in-memory array path over the same mmap
+    views (the equivalence tests exercise both).
+    """
+
+    #: Checked by ``pregel`` to select the out-of-core superstep executor.
+    stream_supersteps = True
+
+    def __init__(
+        self,
+        vertex_table: _ShardVertexTable,
+        partitions: List[ShardEdgePartition],
+        membership: VertexMembership,
+        strategy_name: str,
+        chunk_edges: int = DEFAULT_CHUNK_EDGES,
+    ) -> None:
+        self.graph = vertex_table
+        self.partitions = partitions
+        self.membership = membership
+        self.num_partitions = int(membership.num_partitions)
+        self.strategy_name = strategy_name
+        self.chunk_edges = int(chunk_edges)
+        self._routing: Optional[RoutingTable] = None
+        self._triplets: Optional[TripletArrays] = None
+
+    @property
+    def routing(self) -> RoutingTable:
+        """The vertex routing table, rebuilt from the persisted membership."""
+        if self._routing is None:
+            self._routing = RoutingTable(
+                num_partitions=self.num_partitions,
+                membership=self.membership,
+                all_vertex_ids=self.graph.vertex_ids,
+            )
+        return self._routing
+
+    def triplets(self) -> TripletArrays:
+        """Dense triplet arrays — materialises every partition in RAM.
+
+        Only meaningful with :attr:`stream_supersteps` disabled (the
+        equivalence tests' in-memory reference); the streaming executor
+        never calls it.
+        """
+        if self._triplets is None:
+            self._triplets = build_triplets(self)
+        return self._triplets
+
+    @property
+    def dataset_bytes(self) -> int:
+        """Estimated on-disk size of the underlying edge list."""
+        return estimated_size_bytes(self.graph)
+
+    def non_empty_partitions(self) -> List[ShardEdgePartition]:
+        """Partitions that hold at least one edge."""
+        return [p for p in self.partitions if p.num_edges > 0]
+
+    def out_degrees(self) -> dict:
+        """Out-degree of every vertex (convenience passthrough)."""
+        return self.graph.out_degrees()
+
+    def release(self) -> None:
+        """Release every partition's mapping."""
+        for partition in self.partitions:
+            partition.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedGraph(strategy={self.strategy_name!r}, "
+            f"partitions={self.num_partitions}, edges={self.graph.num_edges})"
+        )
+
+
+def _validated_partition_path(
+    store: ArtifactStore,
+    key: Dict[str, object],
+    partition_id: int,
+    expected_edges: int,
+) -> Optional[str]:
+    """Header-check one partition sidecar; ``None`` when missing/corrupt."""
+    path = store.shard_member_path(key, partition_member_name(partition_id))
+    try:
+        mapped = np.load(path, mmap_mode="r")
+    except (OSError, ValueError):
+        return None
+    ok = (
+        mapped.dtype == np.int64
+        and mapped.ndim == 2
+        and mapped.shape[0] == 2
+        and mapped.shape[1] == expected_edges
+    )
+    del mapped
+    return path if ok else None
+
+
+def load_sharded_graph(
+    store: ArtifactStore,
+    key: Dict[str, object],
+    chunk_edges: int = DEFAULT_CHUNK_EDGES,
+    count: bool = True,
+) -> Optional[ShardedGraph]:
+    """Load the shard stored under ``key``; ``None`` (a counted miss) if absent.
+
+    The loader owns the hit/miss verdict: a shard only counts as a hit when
+    the manifest, the vertex table and **every** partition sidecar it
+    references are present and structurally sound (dtype, shape and edge
+    counts all match the manifest).  Anything less — a truncated ``.npy``,
+    a vertex table that does not decompress, a missing sidecar — is a miss,
+    so callers rebuild instead of serving a corrupt graph.  ``count=False``
+    skips the store's hit/miss accounting (the ingest driver's
+    load-after-build verification is not a cache lookup).
+    """
+
+    def verdict(hit: bool) -> None:
+        if count:
+            store.count_shard(hit)
+
+    manifest = store.load_shard_manifest(key)
+    if manifest is None:
+        verdict(False)
+        return None
+    try:
+        num_partitions = int(manifest["num_partitions"])
+        num_edges = int(manifest["num_edges"])
+        edge_counts = [int(c) for c in manifest["edge_counts"]]
+        partition_members = dict(manifest["members"]["partitions"])
+        vertex_member = str(manifest["members"]["vertex_table"])
+        dataset = str(manifest.get("dataset", ""))
+        strategy_name = str(manifest.get("strategy_name", ""))
+    except (KeyError, TypeError, ValueError):
+        verdict(False)
+        return None
+    if len(edge_counts) != num_partitions or sum(edge_counts) != num_edges:
+        verdict(False)
+        return None
+
+    try:
+        with np.load(store.shard_member_path(key, vertex_member)) as payload:
+            vertex_ids = payload["vertex_ids"].astype(np.int64, copy=False)
+            out_degree = payload["out_degree"].astype(np.int64, copy=False)
+            in_degree = payload["in_degree"].astype(np.int64, copy=False)
+            pair_vertex = payload["pair_vertex"].astype(np.int64, copy=False)
+            pair_partition = payload["pair_partition"].astype(np.int64, copy=False)
+    except (OSError, KeyError, ValueError, zipfile.BadZipFile, EOFError):
+        verdict(False)
+        return None
+    if (
+        out_degree.size != vertex_ids.size
+        or in_degree.size != vertex_ids.size
+        or pair_vertex.size != pair_partition.size
+    ):
+        verdict(False)
+        return None
+
+    membership = VertexMembership(pair_vertex, pair_partition, num_partitions)
+    partitions: List[ShardEdgePartition] = []
+    for pid in range(num_partitions):
+        expected = edge_counts[pid]
+        path: Optional[str] = None
+        if expected > 0:
+            if partition_members.get(str(pid)) != partition_member_name(pid):
+                verdict(False)
+                return None
+            path = _validated_partition_path(store, key, pid, expected)
+            if path is None:
+                verdict(False)
+                return None
+        partitions.append(
+            ShardEdgePartition(
+                partition_id=pid,
+                path=path,
+                num_edges=expected,
+                vertex_ids=membership.vertices_of_partition(pid),
+            )
+        )
+
+    verdict(True)
+    vertex_table = _ShardVertexTable(
+        name=dataset,
+        vertex_ids=vertex_ids,
+        out_degree=out_degree,
+        in_degree=in_degree,
+        num_edges=num_edges,
+    )
+    return ShardedGraph(
+        vertex_table=vertex_table,
+        partitions=partitions,
+        membership=membership,
+        strategy_name=strategy_name,
+        chunk_edges=chunk_edges,
+    )

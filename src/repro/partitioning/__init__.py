@@ -1,6 +1,6 @@
 """Vertex-cut edge-placement strategies (the paper's six plus extensions)."""
 
-from .base import EdgePartitionAssignment, PartitionStrategy
+from .base import ChunkAssigner, EdgePartitionAssignment, PartitionStrategy
 from .greedy import DegreeBasedHashing, GreedyVertexCut, HdrfPartitioner
 from .hash_partitioners import (
     CanonicalRandomVertexCut,
@@ -24,6 +24,7 @@ from .registry import (
 from .streaming import FennelEdgePartitioner
 
 __all__ = [
+    "ChunkAssigner",
     "EdgePartitionAssignment",
     "PartitionStrategy",
     "VertexMembership",

@@ -19,7 +19,46 @@ from ..core.validation import require_positive_partitions
 from ..errors import PartitioningError
 from .membership import VertexMembership
 
-__all__ = ["PartitionStrategy", "EdgePartitionAssignment", "parts_index_array"]
+__all__ = [
+    "ChunkAssigner",
+    "PartitionStrategy",
+    "EdgePartitionAssignment",
+    "parts_index_array",
+]
+
+
+class ChunkAssigner:
+    """Incremental edge placement over one bounded-chunk stream.
+
+    Obtained from :meth:`PartitionStrategy.begin_stream`; callers feed the
+    edge stream *in order* as bounded ``(src, dst)`` chunks and concatenate
+    the returned placements.  The result is identical, edge for edge, to
+    :meth:`PartitionStrategy.assign` on the whole graph — stateful
+    strategies carry their scoring state (loads, vertex membership, partial
+    degrees) across chunks, so chunk boundaries never influence placement.
+    """
+
+    def assign_chunk(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Place the next ``len(src)`` edges of the stream; returns int64 ids."""
+        raise NotImplementedError
+
+    def finish(self) -> None:
+        """Hook called once after the last chunk; the default does nothing."""
+
+
+class _StatelessChunkAssigner(ChunkAssigner):
+    """Chunk adapter for strategies that are pure functions of the endpoints."""
+
+    def __init__(self, strategy: "PartitionStrategy", num_partitions: int) -> None:
+        self._strategy = strategy
+        self._num_partitions = num_partitions
+
+    def assign_chunk(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.size == 0:
+            return np.empty(0, dtype=np.int64)
+        return self._strategy.assign_array(src, dst, self._num_partitions)
 
 
 def parts_index_array(parts: set) -> np.ndarray:
@@ -154,6 +193,26 @@ class PartitionStrategy(abc.ABC):
             dtype=np.int64,
             count=len(src),
         )
+
+    def begin_stream(self, num_partitions: int, num_edges: int) -> ChunkAssigner:
+        """Start a chunked placement stream over ``num_edges`` total edges.
+
+        The default adapter re-dispatches each chunk through
+        :meth:`assign_array`, which is correct for every strategy that is a
+        pure function of the endpoints and the partition count.  Stateful
+        streaming strategies (Greedy, HDRF, Fennel) override this with
+        assigners that carry scoring state across chunks; strategies whose
+        placement depends on *whole-graph* degree context (DBH, Hybrid)
+        override it to raise :class:`~repro.errors.PartitioningError`.
+
+        ``num_edges`` is the total stream length — capacity-based strategies
+        need it up front to size their balance caps exactly as
+        :meth:`assign` does.
+        """
+        require_positive_partitions(num_partitions)
+        if num_edges < 0:
+            raise PartitioningError(f"num_edges must be non-negative, got {num_edges}")
+        return _StatelessChunkAssigner(self, num_partitions)
 
     def assign(self, graph: Graph, num_partitions: int) -> EdgePartitionAssignment:
         """Partition all edges of ``graph`` into ``num_partitions`` parts."""

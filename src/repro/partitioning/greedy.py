@@ -15,6 +15,14 @@ is O(total replicas) rather than O(vertices x partitions) even at 1024+
 partitions.  The placements are identical to the seed implementation,
 tie-breaking included; ``tests/test_array_equivalence.py`` asserts that
 edge for edge against re-implementations of the seed loops.
+
+Both streaming strategies expose their loops through
+:meth:`~repro.partitioning.base.PartitionStrategy.begin_stream`: the
+scoring state (loads, ``where`` membership, HDRF partial degrees) lives on
+a :class:`~repro.partitioning.base.ChunkAssigner` that survives across
+bounded chunks, so the out-of-core ingestion path places edges identically
+to a whole-graph :meth:`assign` — which is itself implemented as a
+single-chunk stream.
 """
 
 from __future__ import annotations
@@ -25,7 +33,8 @@ import numpy as np
 
 from ..core.graph import Graph
 from ..core.validation import require_positive_partitions
-from .base import EdgePartitionAssignment, PartitionStrategy, parts_index_array
+from ..errors import PartitioningError
+from .base import ChunkAssigner, EdgePartitionAssignment, PartitionStrategy, parts_index_array
 from .degrees import DegreeLookup
 from .hashing import mix64
 
@@ -62,6 +71,13 @@ class DegreeBasedHashing(PartitionStrategy):
             anchor = np.where(deg_src <= deg_dst, src, dst)
         return (mix64(anchor) % np.uint64(num_partitions)).astype(np.int64)
 
+    def begin_stream(self, num_partitions: int, num_edges: int) -> ChunkAssigner:
+        raise PartitioningError(
+            "DBH anchors each edge at its lower-degree endpoint, which needs "
+            "every vertex's final degree before the first placement; it cannot "
+            "stream over bounded chunks"
+        )
+
     def assign(self, graph: Graph, num_partitions: int) -> EdgePartitionAssignment:
         require_positive_partitions(num_partitions)
         self._degrees = DegreeLookup.count(
@@ -71,6 +87,52 @@ class DegreeBasedHashing(PartitionStrategy):
             return super().assign(graph, num_partitions)
         finally:
             self._degrees = None
+
+
+class _GreedyChunkAssigner(ChunkAssigner):
+    """The PowerGraph greedy loop with its state lifted out of ``assign``."""
+
+    def __init__(self, num_partitions: int, num_edges: int, balance_slack: float) -> None:
+        self._loads = np.zeros(num_partitions, dtype=np.int64)
+        self._capacity = max(1.0, balance_slack * num_edges / num_partitions)
+        self._where: Dict[int, Set[int]] = {}
+
+    def assign_chunk(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        loads = self._loads
+        capacity = self._capacity
+        where = self._where
+        placement = np.empty(len(src), dtype=np.int64)
+
+        def pick(candidates: np.ndarray) -> int:
+            # The seed's min(candidates, key=(load, id)) tie-break: the
+            # lowest-numbered partition among the least loaded candidates.
+            candidate_loads = loads[candidates]
+            least = candidates[candidate_loads == candidate_loads.min()]
+            return int(least.min())
+
+        for index, (s, d) in enumerate(
+            zip(np.asarray(src).tolist(), np.asarray(dst).tolist())
+        ):
+            parts_src = where.get(s, set())
+            parts_dst = where.get(d, set())
+            choice = -1
+            for parts in (parts_src & parts_dst, parts_src | parts_dst):
+                if not parts:
+                    continue
+                candidates = parts_index_array(parts)
+                candidates = candidates[loads[candidates] < capacity]
+                if candidates.size:
+                    choice = pick(candidates)
+                    break
+            if choice < 0:
+                # No (non-full) endpoint partition: globally least loaded,
+                # lowest id first (np.argmin returns the first minimum).
+                choice = int(np.argmin(loads))
+            placement[index] = choice
+            loads[choice] += 1
+            where.setdefault(s, set()).add(choice)
+            where.setdefault(d, set()).add(choice)
+        return placement
 
 
 class GreedyVertexCut(PartitionStrategy):
@@ -103,46 +165,73 @@ class GreedyVertexCut(PartitionStrategy):
             "GreedyVertexCut is stateful; use assign() on a whole graph instead"
         )
 
-    def assign(self, graph: Graph, num_partitions: int) -> EdgePartitionAssignment:
+    def begin_stream(self, num_partitions: int, num_edges: int) -> ChunkAssigner:
         require_positive_partitions(num_partitions)
-        loads = np.zeros(num_partitions, dtype=np.int64)
-        capacity = max(1.0, self.balance_slack * graph.num_edges / num_partitions)
-        where: Dict[int, Set[int]] = {}
-        placement = np.empty(graph.num_edges, dtype=np.int64)
+        if num_edges < 0:
+            raise PartitioningError(f"num_edges must be non-negative, got {num_edges}")
+        return _GreedyChunkAssigner(num_partitions, num_edges, self.balance_slack)
 
-        def pick(candidates: np.ndarray) -> int:
-            # The seed's min(candidates, key=(load, id)) tie-break: the
-            # lowest-numbered partition among the least loaded candidates.
-            candidate_loads = loads[candidates]
-            least = candidates[candidate_loads == candidate_loads.min()]
-            return int(least.min())
-
-        for index, (src, dst) in enumerate(graph.edge_pairs()):
-            parts_src = where.get(src, set())
-            parts_dst = where.get(dst, set())
-            choice = -1
-            for parts in (parts_src & parts_dst, parts_src | parts_dst):
-                if not parts:
-                    continue
-                candidates = parts_index_array(parts)
-                candidates = candidates[loads[candidates] < capacity]
-                if candidates.size:
-                    choice = pick(candidates)
-                    break
-            if choice < 0:
-                # No (non-full) endpoint partition: globally least loaded,
-                # lowest id first (np.argmin returns the first minimum).
-                choice = int(np.argmin(loads))
-            placement[index] = choice
-            loads[choice] += 1
-            where.setdefault(src, set()).add(choice)
-            where.setdefault(dst, set()).add(choice)
+    def assign(self, graph: Graph, num_partitions: int) -> EdgePartitionAssignment:
+        assigner = self.begin_stream(num_partitions, graph.num_edges)
         return EdgePartitionAssignment(
             graph=graph,
             num_partitions=num_partitions,
-            partition_of=placement,
+            partition_of=assigner.assign_chunk(graph.src, graph.dst),
             strategy_name=self.name,
         )
+
+
+class _HdrfChunkAssigner(ChunkAssigner):
+    """The HDRF scoring loop with its state lifted out of ``assign``."""
+
+    def __init__(self, num_partitions: int, balance_weight: float) -> None:
+        self._num_partitions = num_partitions
+        self._balance_weight = balance_weight
+        self._loads = np.zeros(num_partitions, dtype=np.float64)
+        self._partial_degree: Dict[int, int] = {}
+        self._where: Dict[int, Set[int]] = {}
+
+    def assign_chunk(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        num_partitions = self._num_partitions
+        balance_weight = self._balance_weight
+        loads = self._loads
+        partial_degree = self._partial_degree
+        where = self._where
+        placement = np.empty(len(src), dtype=np.int64)
+
+        for index, (s, d) in enumerate(
+            zip(np.asarray(src).tolist(), np.asarray(dst).tolist())
+        ):
+            partial_degree[s] = partial_degree.get(s, 0) + 1
+            partial_degree[d] = partial_degree.get(d, 0) + 1
+            deg_src = partial_degree[s]
+            deg_dst = partial_degree[d]
+            total = deg_src + deg_dst
+            theta_src = deg_src / total
+            theta_dst = deg_dst / total
+            max_load = loads.max()
+            min_load = loads.min()
+            spread = (max_load - min_load) + 1.0
+
+            # rep is built sparsely, then the balance vector is added, so the
+            # per-partition float additions happen in the seed's order
+            # ((rep_src + rep_dst) + bal) and the scores stay bit-identical.
+            score = np.zeros(num_partitions, dtype=np.float64)
+            parts_src = where.get(s)
+            if parts_src:
+                score[parts_index_array(parts_src)] += 1.0 + (1.0 - theta_src)
+            parts_dst = where.get(d)
+            if parts_dst:
+                score[parts_index_array(parts_dst)] += 1.0 + (1.0 - theta_dst)
+            score += balance_weight * (max_load - loads) / spread
+            # argmax keeps the first maximum, matching the seed's strict-">"
+            # scan over partition ids.
+            best_part = int(np.argmax(score))
+            placement[index] = best_part
+            loads[best_part] += 1.0
+            where.setdefault(s, set()).add(best_part)
+            where.setdefault(d, set()).add(best_part)
+        return placement
 
 
 class HdrfPartitioner(PartitionStrategy):
@@ -167,47 +256,17 @@ class HdrfPartitioner(PartitionStrategy):
             "HdrfPartitioner is stateful; use assign() on a whole graph instead"
         )
 
-    def assign(self, graph: Graph, num_partitions: int) -> EdgePartitionAssignment:
+    def begin_stream(self, num_partitions: int, num_edges: int) -> ChunkAssigner:
         require_positive_partitions(num_partitions)
-        loads = np.zeros(num_partitions, dtype=np.float64)
-        partial_degree: Dict[int, int] = {}
-        where: Dict[int, Set[int]] = {}
-        placement = np.empty(graph.num_edges, dtype=np.int64)
+        if num_edges < 0:
+            raise PartitioningError(f"num_edges must be non-negative, got {num_edges}")
+        return _HdrfChunkAssigner(num_partitions, self.balance_weight)
 
-        for index, (src, dst) in enumerate(graph.edge_pairs()):
-            partial_degree[src] = partial_degree.get(src, 0) + 1
-            partial_degree[dst] = partial_degree.get(dst, 0) + 1
-            deg_src = partial_degree[src]
-            deg_dst = partial_degree[dst]
-            total = deg_src + deg_dst
-            theta_src = deg_src / total
-            theta_dst = deg_dst / total
-            max_load = loads.max()
-            min_load = loads.min()
-            spread = (max_load - min_load) + 1.0
-
-            # rep is built sparsely, then the balance vector is added, so the
-            # per-partition float additions happen in the seed's order
-            # ((rep_src + rep_dst) + bal) and the scores stay bit-identical.
-            score = np.zeros(num_partitions, dtype=np.float64)
-            parts_src = where.get(src)
-            if parts_src:
-                score[parts_index_array(parts_src)] += 1.0 + (1.0 - theta_src)
-            parts_dst = where.get(dst)
-            if parts_dst:
-                score[parts_index_array(parts_dst)] += 1.0 + (1.0 - theta_dst)
-            score += self.balance_weight * (max_load - loads) / spread
-            # argmax keeps the first maximum, matching the seed's strict-">"
-            # scan over partition ids.
-            best_part = int(np.argmax(score))
-            placement[index] = best_part
-            loads[best_part] += 1.0
-            where.setdefault(src, set()).add(best_part)
-            where.setdefault(dst, set()).add(best_part)
-
+    def assign(self, graph: Graph, num_partitions: int) -> EdgePartitionAssignment:
+        assigner = self.begin_stream(num_partitions, graph.num_edges)
         return EdgePartitionAssignment(
             graph=graph,
             num_partitions=num_partitions,
-            partition_of=placement,
+            partition_of=assigner.assign_chunk(graph.src, graph.dst),
             strategy_name=self.name,
         )

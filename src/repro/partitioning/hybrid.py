@@ -16,7 +16,8 @@ import numpy as np
 
 from ..core.graph import Graph
 from ..core.validation import require_positive_partitions
-from .base import EdgePartitionAssignment, PartitionStrategy
+from ..errors import PartitioningError
+from .base import ChunkAssigner, EdgePartitionAssignment, PartitionStrategy
 from .degrees import DegreeLookup
 from .hashing import mix64
 
@@ -56,6 +57,13 @@ class HybridCut(PartitionStrategy):
             in_degree = self._in_degrees.gather(dst)
         anchor = np.where(in_degree > self._effective_threshold, src, dst)
         return (mix64(anchor) % np.uint64(num_partitions)).astype(np.int64)
+
+    def begin_stream(self, num_partitions: int, num_edges: int) -> ChunkAssigner:
+        raise PartitioningError(
+            "Hybrid splits on each destination's final in-degree, which needs "
+            "the whole graph before the first placement; it cannot stream over "
+            "bounded chunks"
+        )
 
     def assign(self, graph: Graph, num_partitions: int) -> EdgePartitionAssignment:
         require_positive_partitions(num_partitions)

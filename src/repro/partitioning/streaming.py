@@ -5,6 +5,11 @@ edge-cut partitioning of the vertex set; here we adapt the same
 "greedy with a balance penalty" idea to edge placement so it can be
 compared head-to-head with the paper's vertex-cut strategies in the
 ablation benchmark.
+
+The scoring loop lives on a chunk assigner (see
+:meth:`~repro.partitioning.base.PartitionStrategy.begin_stream`) so the
+out-of-core ingestion path can feed bounded chunks through the same state
+and land every edge exactly where a whole-graph :meth:`assign` would.
 """
 
 from __future__ import annotations
@@ -15,9 +20,52 @@ import numpy as np
 
 from ..core.graph import Graph
 from ..core.validation import require_positive_partitions
-from .base import EdgePartitionAssignment, PartitionStrategy, parts_index_array
+from ..errors import PartitioningError
+from .base import ChunkAssigner, EdgePartitionAssignment, PartitionStrategy, parts_index_array
 
 __all__ = ["FennelEdgePartitioner"]
+
+
+class _FennelChunkAssigner(ChunkAssigner):
+    """The Fennel scoring loop with its state lifted out of ``assign``."""
+
+    def __init__(self, num_partitions: int, num_edges: int, gamma: float) -> None:
+        self._num_partitions = num_partitions
+        self._gamma = gamma
+        self._capacity = max(1.0, num_edges / num_partitions)
+        self._loads = np.zeros(num_partitions, dtype=np.float64)
+        # The edge loop is sequential by construction (every placement feeds
+        # the next); vertex membership stays sparse (one set per vertex, the
+        # seed's map) while the per-partition affinity/penalty scoring runs
+        # on num_partitions-length arrays instead of a Python loop.
+        self._where: Dict[int, Set[int]] = {}
+
+    def assign_chunk(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        num_partitions = self._num_partitions
+        gamma = self._gamma
+        capacity = self._capacity
+        loads = self._loads
+        where = self._where
+        placement = np.empty(len(src), dtype=np.int64)
+
+        for index, (s, d) in enumerate(
+            zip(np.asarray(src).tolist(), np.asarray(dst).tolist())
+        ):
+            score = np.zeros(num_partitions, dtype=np.float64)
+            parts_src = where.get(s)
+            if parts_src:
+                score[parts_index_array(parts_src)] += 1.0
+            parts_dst = where.get(d)
+            if parts_dst:
+                score[parts_index_array(parts_dst)] += 1.0
+            score -= gamma * loads / capacity
+            # argmax keeps the first maximum — the seed's strict-">" scan.
+            best_part = int(np.argmax(score))
+            placement[index] = best_part
+            loads[best_part] += 1.0
+            where.setdefault(s, set()).add(best_part)
+            where.setdefault(d, set()).add(best_part)
+        return placement
 
 
 class FennelEdgePartitioner(PartitionStrategy):
@@ -42,36 +90,17 @@ class FennelEdgePartitioner(PartitionStrategy):
             "FennelEdgePartitioner is stateful; use assign() on a whole graph instead"
         )
 
-    def assign(self, graph: Graph, num_partitions: int) -> EdgePartitionAssignment:
+    def begin_stream(self, num_partitions: int, num_edges: int) -> ChunkAssigner:
         require_positive_partitions(num_partitions)
-        capacity = max(1.0, graph.num_edges / num_partitions)
-        loads = np.zeros(num_partitions, dtype=np.float64)
-        # The edge loop is sequential by construction (every placement feeds
-        # the next); vertex membership stays sparse (one set per vertex, the
-        # seed's map) while the per-partition affinity/penalty scoring runs
-        # on num_partitions-length arrays instead of a Python loop.
-        where: Dict[int, Set[int]] = {}
-        placement = np.empty(graph.num_edges, dtype=np.int64)
+        if num_edges < 0:
+            raise PartitioningError(f"num_edges must be non-negative, got {num_edges}")
+        return _FennelChunkAssigner(num_partitions, num_edges, self.gamma)
 
-        for index, (src, dst) in enumerate(graph.edge_pairs()):
-            score = np.zeros(num_partitions, dtype=np.float64)
-            parts_src = where.get(src)
-            if parts_src:
-                score[parts_index_array(parts_src)] += 1.0
-            parts_dst = where.get(dst)
-            if parts_dst:
-                score[parts_index_array(parts_dst)] += 1.0
-            score -= self.gamma * loads / capacity
-            # argmax keeps the first maximum — the seed's strict-">" scan.
-            best_part = int(np.argmax(score))
-            placement[index] = best_part
-            loads[best_part] += 1.0
-            where.setdefault(src, set()).add(best_part)
-            where.setdefault(dst, set()).add(best_part)
-
+    def assign(self, graph: Graph, num_partitions: int) -> EdgePartitionAssignment:
+        assigner = self.begin_stream(num_partitions, graph.num_edges)
         return EdgePartitionAssignment(
             graph=graph,
             num_partitions=num_partitions,
-            partition_of=placement,
+            partition_of=assigner.assign_chunk(graph.src, graph.dst),
             strategy_name=self.name,
         )

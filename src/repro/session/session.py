@@ -136,6 +136,8 @@ class CacheStats:
     disk_landmark_misses: int = 0
     disk_record_hits: int = 0
     disk_record_misses: int = 0
+    disk_shard_hits: int = 0
+    disk_shard_misses: int = 0
 
     @property
     def partition_builds(self) -> int:
@@ -144,9 +146,19 @@ class CacheStats:
         return self.partition_misses - self.disk_partition_hits
 
     @property
+    def shard_builds(self) -> int:
+        """Shards actually ingested (disk lookups the store could not answer)."""
+        return self.disk_shard_misses
+
+    @property
     def disk_hits(self) -> int:
         """Artifacts of any kind served from the disk store."""
-        return self.disk_partition_hits + self.disk_landmark_hits + self.disk_record_hits
+        return (
+            self.disk_partition_hits
+            + self.disk_landmark_hits
+            + self.disk_record_hits
+            + self.disk_shard_hits
+        )
 
     @property
     def disk_misses(self) -> int:
@@ -155,6 +167,7 @@ class CacheStats:
             self.disk_partition_misses
             + self.disk_landmark_misses
             + self.disk_record_misses
+            + self.disk_shard_misses
         )
 
     def as_dict(self) -> Dict[str, int]:
@@ -169,6 +182,8 @@ class CacheStats:
             "disk_landmark_misses": self.disk_landmark_misses,
             "disk_record_hits": self.disk_record_hits,
             "disk_record_misses": self.disk_record_misses,
+            "disk_shard_hits": self.disk_shard_hits,
+            "disk_shard_misses": self.disk_shard_misses,
         }
 
 
@@ -207,6 +222,7 @@ class Session:
         self._registered: Dict[str, Graph] = {}
         self._graphs = _KeyedCache()
         self._partitions = _KeyedCache()
+        self._sharded = _KeyedCache()
         self._engine_ready = _KeyedCache()
         self._landmarks = _KeyedCache()
         self._landmark_matrices = _KeyedCache()
@@ -218,6 +234,8 @@ class Session:
             "landmark_misses": 0,
             "record_hits": 0,
             "record_misses": 0,
+            "shard_hits": 0,
+            "shard_misses": 0,
         }
         self._absorbed: Dict[str, int] = {}
         if graphs:
@@ -272,6 +290,7 @@ class Session:
         current = self.cached_graph(name)
         if current is not None and current is not graph:
             self._partitions.evict(lambda key: key[0] == name)
+            self._sharded.evict(lambda key: key[0] == name)
             self._engine_ready.evict(lambda key: key[0] == name)
             self._landmarks.evict(lambda key: key[0] == name)
             self._landmark_matrices.evict(lambda key: key[0] == name)
@@ -423,6 +442,67 @@ class Session:
         return self._partition_key(dataset, partitioner, num_partitions) in self._partitions
 
     # ------------------------------------------------------------------
+    # Out-of-core sharded graphs
+    # ------------------------------------------------------------------
+    def sharded_partition(
+        self,
+        dataset: str,
+        partitioner: str,
+        num_partitions: int,
+        source: Optional["EdgeChunkSource"] = None,
+        chunk_edges: Optional[int] = None,
+    ) -> "ShardedGraph":
+        """The memory-mapped sharded graph for one placement triple.
+
+        The out-of-core sibling of :meth:`partitioned`: serves the shard
+        from the attached :class:`~repro.session.store.ArtifactStore` when
+        present (``disk_shard_hits``), otherwise streams the dataset through
+        the shard writer (``disk_shard_misses``) and memoizes the mmapped
+        graph in this process.  ``source`` overrides the edge stream (for
+        graphs too large to materialise — e.g. a
+        :class:`~repro.ooc.chunks.SyntheticChunkSource`); without it the
+        catalog graph is streamed chunk-wise.  Requires a store: shards are
+        disk artifacts by definition.  Registered graphs are refused for
+        the same reason they bypass the placement store — their content is
+        not derivable from the cache key.
+        """
+        from ..ooc.chunks import DEFAULT_CHUNK_EDGES, GraphChunkSource
+        from ..ooc.ingest import ingest_source
+
+        if num_partitions < 1:
+            raise AnalysisError("num_partitions must be >= 1")
+        if self.store is None:
+            raise AnalysisError(
+                "sharded_partition requires a session store (Session(store=...)); "
+                "shards are on-disk artifacts"
+            )
+        if dataset in self._registered:
+            raise AnalysisError(
+                f"dataset {dataset!r} is a registered in-memory graph; shards are "
+                f"keyed by (name, scale, seed) and cannot identify its content"
+            )
+        chunk = DEFAULT_CHUNK_EDGES if chunk_edges is None else int(chunk_edges)
+        key = self._partition_key(dataset, partitioner, num_partitions)
+
+        def build() -> "ShardedGraph":
+            stream = source
+            if stream is None:
+                stream = GraphChunkSource(self.graph(dataset), chunk_edges=chunk)
+            graph, report = ingest_source(
+                self.store,
+                stream,
+                key[1],
+                int(num_partitions),
+                scale=self.scale,
+                seed=self.seed,
+                chunk_edges=chunk,
+            )
+            self._count_disk("shard", hit=report.reused)
+            return graph
+
+        return self._sharded.get(key, build)
+
+    # ------------------------------------------------------------------
     # Landmarks (SSSP)
     # ------------------------------------------------------------------
     def landmarks(self, dataset: str, count: int, seed: Optional[int] = None) -> List[int]:
@@ -517,6 +597,8 @@ class Session:
             + absorbed.get("disk_landmark_misses", 0),
             disk_record_hits=disk["record_hits"] + absorbed.get("disk_record_hits", 0),
             disk_record_misses=disk["record_misses"] + absorbed.get("disk_record_misses", 0),
+            disk_shard_hits=disk["shard_hits"] + absorbed.get("disk_shard_hits", 0),
+            disk_shard_misses=disk["shard_misses"] + absorbed.get("disk_shard_misses", 0),
         )
 
     @property
@@ -532,6 +614,7 @@ class Session:
         """
         self._graphs.clear()
         self._partitions.clear()
+        self._sharded.clear()
         self._engine_ready.clear()
         self._landmarks.clear()
         self._landmark_matrices.clear()

@@ -14,6 +14,13 @@ expensive artefact kinds across processes:
 * **records** — completed :class:`~repro.analysis.results.RunRecord`
   cells of an :class:`~repro.session.plan.ExperimentPlan` grid, which is
   what makes interrupted sweeps resumable.
+* **shards** — out-of-core partition shards (see :mod:`repro.ooc`): a
+  JSON manifest plus sidecar files — a ``.vtx.npz`` vertex table and one
+  plain ``.pNNNNN.npy`` per partition that the engine memory-maps at run
+  time (``.npz`` members cannot be mmapped, so the edge data ships as raw
+  ``.npy``).  The manifest is written *last*, so a crashed ingest never
+  publishes a shard; hit/miss is decided by the shard loader after it has
+  verified every sidecar (see :meth:`ArtifactStore.count_shard`).
 
 Design rules, in order of importance:
 
@@ -36,6 +43,7 @@ artifact at load time without any migration code.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import io
 import json
@@ -59,7 +67,7 @@ __all__ = ["STORE_FORMAT_VERSION", "DiskStats", "StoreInfo", "ArtifactStore"]
 STORE_FORMAT_VERSION = 1
 
 #: Sub-directory per artifact kind.
-_KINDS = ("placements", "landmarks", "records")
+_KINDS = ("placements", "landmarks", "records", "shards")
 
 
 def _canonical_key(key: Dict[str, object]) -> str:
@@ -96,10 +104,13 @@ class StoreInfo:
     landmarks: int
     records: int
     total_bytes: int
+    #: Shard manifests (one per ingested shard artifact; the sidecar
+    #: ``.npy``/``.vtx.npz`` files count toward ``total_bytes`` only).
+    shards: int = 0
 
     @property
     def total_artifacts(self) -> int:
-        return self.placements + self.landmarks + self.records
+        return self.placements + self.landmarks + self.records + self.shards
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -107,6 +118,7 @@ class StoreInfo:
             "placements": self.placements,
             "landmarks": self.landmarks,
             "records": self.records,
+            "shards": self.shards,
             "total_artifacts": self.total_artifacts,
             "total_bytes": self.total_bytes,
         }
@@ -143,7 +155,7 @@ class ArtifactStore:
 
     def stats(self, kind: str) -> DiskStats:
         """Hit/miss counters for one artifact kind (``"placements"``,
-        ``"landmarks"`` or ``"records"``)."""
+        ``"landmarks"``, ``"records"`` or ``"shards"``)."""
         if kind not in _KINDS:
             raise AnalysisError(f"unknown artifact kind {kind!r}; expected one of {_KINDS}")
         with self._lock:
@@ -323,6 +335,130 @@ class ArtifactStore:
         return record
 
     # ------------------------------------------------------------------
+    # Out-of-core partition shards
+    # ------------------------------------------------------------------
+    @staticmethod
+    def shard_key(
+        dataset: str,
+        partitioner: str,
+        num_partitions: int,
+        scale: float,
+        seed: int,
+    ) -> Dict[str, object]:
+        """The canonical shard key payload (same shape as placements;
+        callers should canonicalise the partitioner name first)."""
+        return {
+            "kind": "shard",
+            "version": STORE_FORMAT_VERSION,
+            "dataset": str(dataset),
+            "partitioner": str(partitioner),
+            "num_partitions": int(num_partitions),
+            "scale": float(scale),
+            "seed": int(seed),
+        }
+
+    def shard_member_path(self, key: Dict[str, object], member: str) -> str:
+        """On-disk path of one shard sidecar (e.g. ``"vtx.npz"``,
+        ``"p00003.npy"``) — this is what the engine memory-maps."""
+        return self._path("shards", key, "." + member)
+
+    def save_shard_member(self, key: Dict[str, object], member: str, data: bytes) -> None:
+        """Persist one shard sidecar atomically.  Sidecars must all be
+        published *before* :meth:`save_shard_manifest` so a crash mid-write
+        leaves an unreferenced sidecar, never a dangling manifest."""
+        _write_artifact(self.shard_member_path(key, member), data)
+
+    @contextlib.contextmanager
+    def open_shard_member(self, key: Dict[str, object], member: str):
+        """Stream one shard sidecar to disk with the atomic-publish
+        guarantee of :meth:`save_shard_member`, without ever holding the
+        payload in memory.
+
+        Yields a binary handle onto a temporary sibling; a clean exit
+        ``os.replace``-s it into place, any exception removes it.  This is
+        what lets the ingest writer emit multi-hundred-MiB partition files
+        while staying inside an O(chunk) memory budget.
+        """
+        target = self.shard_member_path(key, member)
+        try:
+            directory = os.path.dirname(target) or "."
+            os.makedirs(directory, exist_ok=True)
+            temp_path = os.path.join(
+                directory, f".tmp-{os.getpid()}-{os.urandom(6).hex()}.part"
+            )
+            fd = os.open(temp_path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o666)
+        except OSError as exc:
+            raise AnalysisError(f"cannot write artifact {target}: {exc}") from exc
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                yield handle
+            os.replace(temp_path, target)
+        except BaseException as exc:
+            try:
+                os.remove(temp_path)
+            except OSError:
+                pass
+            if isinstance(exc, OSError):
+                raise AnalysisError(
+                    f"cannot write artifact {target}: {exc}"
+                ) from exc
+            raise
+
+    def save_shard_manifest(self, key: Dict[str, object], manifest: Dict[str, object]) -> None:
+        """Publish a shard by writing its manifest (the commit point)."""
+        payload = {"key": key, "manifest": manifest}
+        _write_artifact(
+            self._path("shards", key, ".json"),
+            json.dumps(payload).encode("utf-8"),
+        )
+
+    def load_shard_manifest(self, key: Dict[str, object]) -> Optional[Dict[str, object]]:
+        """The stored shard manifest for ``key``, or None.
+
+        Deliberately does **not** touch the hit/miss counters: a shard load
+        is only a hit once every sidecar the manifest references has been
+        verified, so :func:`repro.ooc.mmap_graph.load_sharded_graph` owns
+        the verdict and reports it through :meth:`count_shard`.
+        """
+        path = self._path("shards", key, ".json")
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload["key"] != key:
+                raise AnalysisError("artifact key mismatch")
+            manifest = payload["manifest"]
+            if not isinstance(manifest, dict):
+                raise AnalysisError("malformed shard manifest")
+        except Exception:
+            return None
+        return manifest
+
+    def count_shard(self, hit: bool) -> None:
+        """Record the verdict of one shard load attempt (see above)."""
+        self._count("shards", hit)
+
+    def discard_shard(self, key: Dict[str, object]) -> None:
+        """Remove a shard's manifest and every sidecar sharing its digest.
+
+        The manifest goes first: a crash mid-discard leaves orphaned
+        sidecars (swept by :meth:`clear`), never a manifest referencing
+        deleted data.
+        """
+        directory = os.path.join(self.root, "shards")
+        digest = _digest(_canonical_key(key))
+        try:
+            names = sorted(os.listdir(directory))
+        except OSError:
+            return
+        members = [n for n in names if n.startswith(digest)]
+        members.sort(key=lambda n: (not n.endswith(".json"), n))
+        for name in members:
+            try:
+                os.remove(os.path.join(directory, name))
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
     def _artifact_files(self, kind: str) -> List[str]:
@@ -337,13 +473,34 @@ class ArtifactStore:
             if name.endswith((".npz", ".json"))
         ]
 
+    def _sidecar_data_files(self, kind: str) -> List[str]:
+        """Raw ``.npy`` edge files riding along shard manifests: part of the
+        store's bytes and of ``clear``, but not artifacts in their own
+        right (one shard = one manifest)."""
+        directory = os.path.join(self.root, kind)
+        try:
+            names = os.listdir(directory)
+        except OSError:
+            return []
+        return [
+            os.path.join(directory, name)
+            for name in sorted(names)
+            if name.endswith(".npy")
+        ]
+
     def info(self) -> StoreInfo:
         """Artifact counts and total bytes currently on disk."""
         counts: Dict[str, int] = {}
         total_bytes = 0
         for kind in _KINDS:
             files = self._artifact_files(kind)
-            counts[kind] = len(files)
+            if kind == "shards":
+                # One shard = one manifest; vertex tables (.npz) and edge
+                # data (.npy) are sidecars counted in bytes only.
+                counts[kind] = sum(1 for path in files if path.endswith(".json"))
+                files = files + self._sidecar_data_files(kind)
+            else:
+                counts[kind] = len(files)
             for path in files:
                 try:
                     total_bytes += os.path.getsize(path)
@@ -354,6 +511,7 @@ class ArtifactStore:
             placements=counts["placements"],
             landmarks=counts["landmarks"],
             records=counts["records"],
+            shards=counts["shards"],
             total_bytes=total_bytes,
         )
 
@@ -367,10 +525,16 @@ class ArtifactStore:
             raise AnalysisError(f"unknown artifact kind {kind!r}; expected one of {_KINDS}")
         removed = 0
         for name in _KINDS if kind is None else (kind,):
-            for path in self._artifact_files(name):
+            paths = self._artifact_files(name)
+            if name == "shards":
+                paths = paths + self._sidecar_data_files(name)
+            for path in paths:
                 try:
                     os.remove(path)
-                    removed += 1
+                    # Shard sidecars (.npz vertex tables, .npy edge data)
+                    # are removed but not counted: one shard = one manifest.
+                    if name != "shards" or path.endswith(".json"):
+                        removed += 1
                 except OSError:
                     pass
             directory = os.path.join(self.root, name)

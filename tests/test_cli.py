@@ -562,3 +562,105 @@ class TestCommands:
         output = capsys.readouterr().out
         assert exit_code == 0
         assert "at 16 partitions (default)" in output
+
+
+class TestIngestAndOutOfCore:
+    def test_ingest_parser_defaults(self):
+        args = build_parser().parse_args(["ingest", "--cache-dir", "store"])
+        assert args.command == "ingest"
+        assert args.partitioner == "Greedy"
+        assert args.partitions == 128
+        assert args.edge_list is None and not args.synthetic
+
+    def test_cache_kind_accepts_shards(self):
+        args = build_parser().parse_args(
+            ["cache", "clear", "--cache-dir", "d", "--kind", "shards"]
+        )
+        assert args.kind == "shards"
+
+    def test_ingest_then_warm_out_of_core_run(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        base = ["--scale", "0.05", "--seed", "3"]
+        exit_code = main(
+            base
+            + [
+                "ingest",
+                "--dataset", "youtube",
+                "--partitioner", "Greedy",
+                "--partitions", "4",
+                "--cache-dir", store,
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "built shard" in output
+
+        run = base + [
+            "run",
+            "--algorithm", "PR",
+            "--out-of-core",
+            "--datasets", "youtube",
+            "--partitioners", "Greedy",
+            "--partitions", "4",
+            "--iterations", "2",
+            "--cache-dir", store,
+        ]
+        assert main(run) == 0
+        warm = capsys.readouterr().out
+        assert "Shard store: 1 disk hits, 0 misses, 0 shard builds." in warm
+
+    def test_ingest_edge_list_file(self, tmp_path, capsys):
+        path = tmp_path / "edges.txt"
+        path.write_text("# header\n0 1\n1 2\n2 0\n")
+        exit_code = main(
+            [
+                "ingest",
+                str(path),
+                "--dataset", "tiny",
+                "--partitions", "2",
+                "--cache-dir", str(tmp_path / "store"),
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Ingested 'tiny'" in output
+        assert "3 edges" in output
+
+    def test_ingest_synthetic_requires_sizes(self, capsys):
+        exit_code = main(["ingest", "--synthetic", "--cache-dir", "unused"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "--vertices" in captured.err
+
+    def test_out_of_core_requires_cache_dir(self, capsys):
+        exit_code = main(["run", "--out-of-core"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "--cache-dir" in captured.err
+
+    def test_out_of_core_rejects_triangle_counting(self, capsys):
+        exit_code = main(["run", "--algorithm", "TR", "--out-of-core", "--cache-dir", "d"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "PR, CC or SSSP" in captured.err
+
+    def test_chunk_edges_without_out_of_core_is_an_error(self, capsys):
+        exit_code = main(["run", "--chunk-edges", "64"])
+        assert exit_code == 2
+        assert "--out-of-core" in capsys.readouterr().err
+
+    def test_cache_info_reports_shards(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        main(
+            [
+                "ingest",
+                "--synthetic",
+                "--vertices", "50",
+                "--edges", "200",
+                "--partitions", "2",
+                "--cache-dir", store,
+            ]
+        )
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", store]) == 0
+        assert "shards:     1" in capsys.readouterr().out

@@ -18,9 +18,9 @@ VIOLATION = "def f(x: int = None):\n    return x\n"
 
 
 class TestRegistry:
-    def test_all_eight_rules_register(self):
+    def test_all_nine_rules_register(self):
         registry = all_rules()
-        assert sorted(registry) == [f"REP00{i}" for i in range(1, 9)]
+        assert sorted(registry) == [f"REP00{i}" for i in range(1, 10)]
         for meta in registry.values():
             assert meta.description
             assert meta.severity in ("error", "warning")

@@ -1,0 +1,75 @@
+"""REP009 fixtures: whole-graph materialisation in out-of-core code."""
+
+import textwrap
+
+from repro.devtools import check_source
+
+
+def _rep009(source, path="src/repro/ooc/shards.py"):
+    findings = check_source(textwrap.dedent(source), path=path)
+    return [f for f in findings if f.rule == "REP009"]
+
+
+class TestRep009Positives:
+    def test_edges_method_call(self):
+        findings = _rep009("for edge in graph.edges():\n    handle(edge)\n")
+        assert len(findings) == 1
+        assert "realises every edge" in findings[0].message
+
+    def test_edge_set_call(self):
+        assert len(_rep009("seen = graph.edge_set()\n")) == 1
+
+    def test_edge_pairs_call(self):
+        assert len(_rep009("pairs = graph.edge_pairs()\n")) == 1
+
+    def test_list_wrapped_edge_pairs(self):
+        # list(...) wrapping does not hide the materialising inner call.
+        assert len(_rep009("pairs = list(graph.edge_pairs())\n")) == 1
+
+    def test_chained_receiver(self):
+        assert len(_rep009("pairs = self.graph.edge_pairs()\n")) == 1
+
+    def test_np_asarray_of_src_column(self):
+        findings = _rep009("src = np.asarray(graph.src)\n")
+        assert len(findings) == 1
+        assert "full edge column" in findings[0].message
+
+    def test_np_array_of_dst_column(self):
+        assert len(_rep009("dst = np.array(self.graph.dst)\n")) == 1
+
+    def test_np_copy_and_fromiter(self):
+        assert len(_rep009("dst = np.copy(graph.dst)\n")) == 1
+        assert len(_rep009("src = np.fromiter(graph.src, dtype=int)\n")) == 1
+
+    def test_applies_to_streaming_partitioners(self):
+        for path in (
+            "src/repro/partitioning/greedy.py",
+            "src/repro/partitioning/streaming.py",
+        ):
+            assert len(_rep009("pairs = graph.edge_pairs()\n", path=path)) == 1
+
+
+class TestRep009Negatives:
+    def test_bounded_column_slices_are_fine(self):
+        assert _rep009("chunk = graph.src[start:stop]\n") == []
+
+    def test_attribute_access_without_copy_is_fine(self):
+        assert _rep009("total = graph.src.size\n") == []
+
+    def test_asarray_of_non_edge_attribute_is_fine(self):
+        assert _rep009("ids = np.asarray(graph.vertex_ids)\n") == []
+
+    def test_asarray_of_local_name_is_fine(self):
+        assert _rep009("arr = np.asarray(values)\n") == []
+
+    def test_other_modules_are_exempt(self):
+        # The in-memory engine may materialise freely; the rule guards
+        # only the out-of-core package and the streaming partitioners.
+        source = "pairs = list(graph.edge_pairs())\n"
+        assert _rep009(source, path="src/repro/core/graph.py") == []
+        assert _rep009(source, path="src/repro/engine/pregel.py") == []
+        assert _rep009(source, path="tests/test_ooc_equivalence.py") == []
+
+    def test_noqa_suppression(self):
+        source = "pairs = graph.edge_pairs()  # repro: noqa[REP009]\n"
+        assert _rep009(source) == []

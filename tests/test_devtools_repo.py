@@ -29,6 +29,10 @@ SEEDED_VIOLATIONS = {
         "try:\n    route(target)\nexcept KeyError:\n    pass\n",
     ),
     "REP008": ("src/repro/datasets/bad_random.py", "rng = np.random.default_rng()\n"),
+    "REP009": (
+        "src/repro/ooc/bad_materialize.py",
+        "pairs = list(graph.edge_pairs())\n",
+    ),
 }
 
 
@@ -120,7 +124,7 @@ class TestCliSurface:
     def test_list_rules_prints_the_table(self, capsys):
         assert main(["check", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for index in range(1, 9):
+        for index in range(1, 10):
             assert f"REP00{index}" in out
 
     def test_unknown_rule_id_is_a_usage_error(self, capsys):
