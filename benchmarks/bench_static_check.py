@@ -1,0 +1,196 @@
+"""Static-check execution layer: --jobs fan-out and the warm check cache.
+
+Times ``repro check`` (the :func:`repro.devtools.engine.analyze` core)
+over the repo's own ``src`` tree three ways — serial, process-pool
+parallel at 2 and 4 jobs, and cold-vs-warm against a ``--cache-dir``
+artifact store — and reports a JSON document in the style of the other
+plain-script harnesses.  Every timed configuration is also checked for
+*identical* findings: a speedup only counts when the parallel and cached
+paths report exactly what serial does.
+
+Acceptance bars:
+
+* ``--jobs 4`` is >= 2x faster than serial, enforced only when the host
+  actually has >= 4 cores (the 1-core CI fallback still runs the
+  equivalence checks);
+* a warm second run against the same cache re-analyses nothing: at
+  least 90% of files (here: all of them) come from the cache.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_static_check.py --quick \
+        --json-out BENCH_static_check.json
+
+``--quick`` restricts the sweep to ``src/repro/devtools`` and drops the
+speedup bar (pool start-up dominates on a few dozen files).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.devtools.engine import analyze
+from repro.session.store import ArtifactStore
+
+ROOT = Path(__file__).resolve().parents[1]
+
+#: Job counts swept against the serial baseline.
+JOB_COUNTS = (2, 4)
+
+#: The acceptance bar: --jobs 4 vs serial.
+SPEEDUP_BAR = 2.0
+BAR_JOBS = 4
+
+#: The warm-cache bar: fraction of files served from the cache.
+CACHE_BAR = 0.9
+
+
+def _summary(report):
+    return [(f.rule, f.path, f.line, f.message) for f in report.findings]
+
+
+def _timed(paths, **kwargs):
+    started = time.perf_counter()
+    report = analyze(paths, root=ROOT, **kwargs)
+    return report, time.perf_counter() - started
+
+
+def _bar_enforced(jobs: int) -> bool:
+    return (os.cpu_count() or 1) >= jobs
+
+
+def run_bench(targets: List[Path], enforce_bar: bool) -> dict:
+    document = {
+        "benchmark": "static_check",
+        "targets": [str(p.relative_to(ROOT)) for p in targets],
+        "cpu_count": os.cpu_count(),
+        "jobs": {},
+        "cache": {},
+    }
+
+    serial, serial_seconds = _timed(targets)
+    baseline = _summary(serial)
+    document["files_checked"] = serial.files_checked
+    document["findings"] = len(serial.findings)
+    document["serial_seconds"] = round(serial_seconds, 6)
+
+    for jobs in JOB_COUNTS:
+        _timed(targets, jobs=jobs)  # warm-up: fork the pool once
+        parallel, seconds = _timed(targets, jobs=jobs)
+        assert _summary(parallel) == baseline, (
+            f"--jobs {jobs} diverged from the serial findings"
+        )
+        speedup = serial_seconds / seconds if seconds > 0 else float("inf")
+        document["jobs"][str(jobs)] = {
+            "seconds": round(seconds, 6),
+            "speedup": round(speedup, 2),
+        }
+
+    with tempfile.TemporaryDirectory(prefix="repro-check-cache-") as cache_dir:
+        store = ArtifactStore(Path(cache_dir) / "store")
+        cold, cold_seconds = _timed(targets, store=store)
+        warm, warm_seconds = _timed(targets, store=store)
+        assert _summary(warm) == baseline, "warm cache diverged from serial findings"
+        cached_fraction = (
+            warm.files_cached / warm.files_checked if warm.files_checked else 1.0
+        )
+        document["cache"] = {
+            "cold_seconds": round(cold_seconds, 6),
+            "warm_seconds": round(warm_seconds, 6),
+            "cold_analyzed": cold.files_analyzed,
+            "warm_cached": warm.files_cached,
+            "warm_analyzed": warm.files_analyzed,
+            "cached_fraction": round(cached_fraction, 4),
+        }
+        assert cached_fraction >= CACHE_BAR, (
+            f"warm cache served only {cached_fraction:.0%} of files "
+            f"(bar: {CACHE_BAR:.0%})"
+        )
+        assert warm.files_analyzed == 0, "unchanged tree must re-analyse nothing"
+
+        # Invalidation: copy the smallest target aside, edit one file,
+        # and confirm exactly that file is re-analysed.
+        scratch = Path(cache_dir) / "scratch"
+        source_tree = min(targets, key=lambda p: sum(1 for _ in p.rglob("*.py")))
+        shutil.copytree(source_tree, scratch / source_tree.name)
+        scratch_store = ArtifactStore(Path(cache_dir) / "scratch-store")
+        analyze([scratch], root=scratch, store=scratch_store)
+        victim = next((scratch / source_tree.name).rglob("*.py"))
+        victim.write_text(victim.read_text() + "\n# touched by the benchmark\n")
+        edited = analyze([scratch], root=scratch, store=scratch_store)
+        document["cache"]["edited_reanalyzed"] = edited.files_analyzed
+        assert edited.files_analyzed == 1, (
+            f"editing one file re-analysed {edited.files_analyzed}"
+        )
+
+    bar_speedup = document["jobs"][str(BAR_JOBS)]["speedup"]
+    enforced = enforce_bar and _bar_enforced(BAR_JOBS)
+    document["bar"] = {
+        "speedup": bar_speedup,
+        "required": SPEEDUP_BAR,
+        "enforced": enforced,
+    }
+    return document
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Serial vs --jobs vs --cache-dir static check benchmark"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="devtools subtree only, no speedup bar (for CI)",
+    )
+    parser.add_argument(
+        "--json-out", default=None, help="also write the report document to this file"
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        targets = [ROOT / "src" / "repro" / "devtools"]
+    else:
+        # The default `repro check` targets: the cross-file rules need the
+        # tests in the index (a registry name's "has a test" leg would
+        # fail spuriously against src alone).
+        targets = [
+            ROOT / name
+            for name in ("src", "tests", "benchmarks", "examples")
+            if (ROOT / name).is_dir()
+        ]
+
+    document = run_bench(targets, enforce_bar=not args.quick)
+    print(json.dumps(document, indent=2))
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+
+    bar = document["bar"]
+    print(
+        f"\n--jobs {BAR_JOBS} over {document['files_checked']} files: "
+        f"{bar['speedup']:.2f}x"
+        + (
+            f" (acceptance bar: {SPEEDUP_BAR:.0f}x)"
+            if bar["enforced"]
+            else " (bar not enforced: "
+            + ("quick mode" if args.quick else f"only {os.cpu_count()} cores")
+            + ")"
+        )
+    )
+    if bar["enforced"] and bar["speedup"] < SPEEDUP_BAR:
+        print("FAILED: --jobs below the acceptance bar", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,7 +37,12 @@ from ..partitioning.registry import (
 )
 from ..session import Session
 
-__all__ = ["Recommendation", "recommend_partitioner", "recommend_empirically"]
+__all__ = [
+    "DEFAULT_LARGE_EDGE_THRESHOLD",
+    "Recommendation",
+    "recommend_partitioner",
+    "recommend_empirically",
+]
 
 #: Edge count above which a dataset counts as "large" at the analogue scale
 #: (the paper's threshold is "Orkut-sized and above"; the analogues are

@@ -36,6 +36,7 @@ from .results import RunRecord
 
 __all__ = [
     "ExperimentConfig",
+    "PAPER_GRANULARITIES",
     "run_partitioning_study",
     "run_algorithm_study",
     "run_infrastructure_study",

@@ -43,6 +43,8 @@ from .vectorized import VectorizedBackend
 __all__ = [
     "Backend",
     "CSRGraph",
+    "REFERENCE",
+    "VECTORIZED",
     "ReferenceBackend",
     "VectorizedBackend",
     "available_backends",

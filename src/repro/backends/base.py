@@ -32,6 +32,7 @@ __all__ = [
     "available_backends",
     "get_backend",
     "register_backend",
+    "resolve_graph",
 ]
 
 GraphLike = Union[Graph, PartitionedGraph]

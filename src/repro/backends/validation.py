@@ -20,7 +20,7 @@ from ..algorithms.result import AlgorithmResult
 from ..errors import BackendError
 from .base import GraphLike, get_backend
 
-__all__ = ["validate_backends"]
+__all__ = ["DEFAULT_REL_TOL", "validate_backends"]
 
 #: Relative tolerance for floating-point algorithms (PageRank).
 DEFAULT_REL_TOL = 1e-9

@@ -72,7 +72,12 @@ from .metrics.report import format_metrics_table, format_table
 from .partitioning.registry import PAPER_PARTITIONER_NAMES, canonical_partitioner_name
 from .session import ArtifactStore, Session
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "DEFAULT_ADVISE_PARTITIONS",
+    "SWEEP_LANDMARK_COUNT",
+    "main",
+    "build_parser",
+]
 
 #: Partition count used by ``advise --backend`` when ``--partitions`` is omitted.
 DEFAULT_ADVISE_PARTITIONS = 16
@@ -402,7 +407,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache_parser.add_argument(
         "--kind",
-        choices=["placements", "landmarks", "records", "shards"],
+        choices=["placements", "landmarks", "records", "shards", "checks"],
         default=None,
         help="restrict 'clear' to one artifact kind (default: all)",
     )
@@ -525,6 +530,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the JSON findings document to this file "
         "(CI artifact), independent of --format",
+    )
+    check_parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="fan per-file analysis across N worker processes "
+        "(default: 1, serial)",
+    )
+    check_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="artifact store for per-file results keyed by file content and "
+        "rule-set fingerprint; warm runs re-analyze only changed files",
+    )
+    check_parser.add_argument(
+        "--statistics",
+        action="store_true",
+        help="report per-rule finding/file counts and parse/analysis wall "
+        "time (text and JSON output)",
     )
 
     advise_parser = subparsers.add_parser(
@@ -843,6 +867,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"  landmarks:  {info.landmarks}")
         print(f"  records:    {info.records}")
         print(f"  shards:     {info.shards}")
+        print(f"  checks:     {info.checks}")
         print(f"  total:      {info.total_artifacts} artifacts, {info.total_bytes:,} bytes")
         return 0
     removed = store.clear(kind=args.kind)

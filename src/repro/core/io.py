@@ -14,7 +14,7 @@ from typing import Optional, Union
 from ..errors import GraphIOError
 from .graph import Graph
 
-__all__ = ["atomic_write_bytes", "read_edge_list", "write_edge_list"]
+__all__ = ["PathLike", "atomic_write_bytes", "read_edge_list", "write_edge_list"]
 
 PathLike = Union[str, "os.PathLike[str]"]
 
@@ -41,7 +41,18 @@ def atomic_write_bytes(path: PathLike, data: bytes, make_parents: bool = False) 
     tmp_path = os.path.join(directory, f".tmp-{os.getpid()}-{os.urandom(6).hex()}.part")
     fd = os.open(tmp_path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o666)
     try:
-        with os.fdopen(fd, "wb") as handle:
+        # Adoption can fail (allocation, interpreter shutdown); until the
+        # file object owns fd, it must be closed here or it leaks.
+        handle = os.fdopen(fd, "wb")
+    except BaseException:
+        os.close(fd)
+        try:
+            os.remove(tmp_path)
+        except OSError:
+            pass
+        raise
+    try:
+        with handle:
             handle.write(data)
         os.replace(tmp_path, target)
     except BaseException:

@@ -1,0 +1,320 @@
+"""Per-function control-flow graphs for the dataflow rules.
+
+:func:`build_cfg` lowers one ``def`` body to basic blocks connected by
+successor edges: straight-line statements share a block; ``if``/``for``/
+``while``/``try``/``with``/``return``/``raise``/``break``/``continue``
+split blocks and add edges.  A single virtual EXIT block terminates every
+path — falling off the end, ``return``, and ``raise`` all reach it — so a
+forward analysis reads "facts live at exit" off one block.
+
+Exception edges are *explicit-flow only*: a ``raise`` statement routes to
+the innermost enclosing handlers (which may decline it — the propagation
+edge is kept too) and through ``finally`` blocks to EXIT; handler entries
+additionally get an edge from the block *preceding* the ``try``, so facts
+held at try entry reach the handler.  Implicit raises (any call can
+throw) are deliberately not modelled — doing so would claim a statement
+can abort after completing, mark every handle leaked without a
+``finally``, and drown real findings in noise.
+
+Branch/loop header expressions are wrapped in :class:`Synthetic` pseudo-
+statements and ``with`` items in :class:`WithEnter`, so transfer
+functions see every expression exactly once (visiting the raw compound
+statement would walk its body a second time).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+__all__ = [
+    "Block",
+    "ControlFlowGraph",
+    "Statement",
+    "Synthetic",
+    "WithEnter",
+    "build_cfg",
+]
+
+
+@dataclass(frozen=True)
+class Synthetic:
+    """A branch/loop header expression evaluated on block entry.
+
+    ``node`` is the test/iterator expression; ``bind`` is the loop target
+    for ``for`` headers (None elsewhere); ``origin`` the compound
+    statement it came from (for locations).
+    """
+
+    node: ast.expr
+    origin: ast.stmt
+    bind: Optional[ast.expr] = None
+
+
+@dataclass(frozen=True)
+class WithEnter:
+    """One ``with`` item entering scope (the context manager handles exit)."""
+
+    item: ast.withitem
+    origin: ast.stmt
+
+
+#: What a transfer function receives: real statements plus the pseudo ones.
+Statement = Union[ast.stmt, Synthetic, WithEnter]
+
+
+@dataclass
+class Block:
+    """A maximal straight-line statement sequence."""
+
+    block_id: int
+    statements: List[Statement] = field(default_factory=list)
+    successors: Set[int] = field(default_factory=set)
+
+
+@dataclass
+class ControlFlowGraph:
+    blocks: Dict[int, Block]
+    entry: int
+    exit: int
+
+    def predecessors(self) -> Dict[int, Set[int]]:
+        preds: Dict[int, Set[int]] = {block_id: set() for block_id in self.blocks}
+        for block in self.blocks.values():
+            for successor in block.successors:
+                preds[successor].add(block.block_id)
+        return preds
+
+
+class _Frame:
+    """One enclosing ``try``: handler entries and/or a ``finally``."""
+
+    def __init__(self, handlers: List[int], finally_entry: Optional[int]) -> None:
+        self.handlers = handlers
+        self.finally_entry = finally_entry
+        #: Set when a raise (or handler mismatch) routes into the finally,
+        #: which then must re-raise: its end gains an unwind edge.
+        self.finally_unwinds = False
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.blocks: Dict[int, Block] = {}
+        self._next_id = 0
+        self.exit_id = self._new_block().block_id
+        self._loops: List[Tuple[int, int]] = []  # (continue target, break target)
+        self._frames: List[_Frame] = []
+
+    def _new_block(self) -> Block:
+        block = Block(block_id=self._next_id)
+        self._next_id += 1
+        self.blocks[block.block_id] = block
+        return block
+
+    def _edge(self, src: int, dst: int) -> None:
+        self.blocks[src].successors.add(dst)
+
+    def _unwind_target(self, skip: int = 0) -> int:
+        """Where an escaping exception goes: the innermost enclosing
+        ``finally`` (marking it as a re-raise path), else EXIT."""
+        for frame in reversed(self._frames[: len(self._frames) - skip]):
+            if frame.finally_entry is not None:
+                frame.finally_unwinds = True
+                return frame.finally_entry
+        return self.exit_id
+
+    def _return_target(self) -> int:
+        """Where ``return`` goes: through every enclosing finally to EXIT.
+
+        Conservatively routes to the innermost finally only (chained
+        finallys connect via their own unwind edges)."""
+        return self._unwind_target()
+
+    # ------------------------------------------------------------------
+    def build(self, body: Sequence[ast.stmt]) -> ControlFlowGraph:
+        entry = self._new_block()
+        end = self._visit_body(body, entry.block_id)
+        if end is not None:
+            self._edge(end, self.exit_id)
+        return ControlFlowGraph(blocks=self.blocks, entry=entry.block_id, exit=self.exit_id)
+
+    def _visit_body(
+        self, statements: Sequence[ast.stmt], current: Optional[int]
+    ) -> Optional[int]:
+        for node in statements:
+            if current is None:
+                break  # unreachable code after return/raise/break
+            current = self._visit_statement(node, current)
+        return current
+
+    def _visit_statement(self, node: ast.stmt, current: int) -> Optional[int]:
+        if isinstance(node, ast.If):
+            return self._visit_if(node, current)
+        if isinstance(node, (ast.While,)):
+            return self._visit_while(node, current)
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            return self._visit_for(node, current)
+        if isinstance(node, ast.Try):
+            return self._visit_try(node, current)
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            return self._visit_with(node, current)
+        if isinstance(node, ast.Return):
+            self.blocks[current].statements.append(node)
+            self._edge(current, self._return_target())
+            return None
+        if isinstance(node, ast.Raise):
+            self.blocks[current].statements.append(node)
+            frame = self._innermost_handler_frame()
+            if frame is not None:
+                for handler in frame.handlers:
+                    self._edge(current, handler)
+            self._edge(current, self._unwind_target())
+            return None
+        if isinstance(node, ast.Break):
+            if self._loops:
+                self._edge(current, self._loops[-1][1])
+            return None
+        if isinstance(node, ast.Continue):
+            if self._loops:
+                self._edge(current, self._loops[-1][0])
+            return None
+        self.blocks[current].statements.append(node)
+        return current
+
+    def _innermost_handler_frame(self) -> Optional[_Frame]:
+        for frame in reversed(self._frames):
+            if frame.handlers:
+                return frame
+        return None
+
+    def _visit_if(self, node: ast.If, current: int) -> Optional[int]:
+        self.blocks[current].statements.append(Synthetic(node=node.test, origin=node))
+        then_entry = self._new_block()
+        self._edge(current, then_entry.block_id)
+        then_end = self._visit_body(node.body, then_entry.block_id)
+        if node.orelse:
+            else_entry = self._new_block()
+            self._edge(current, else_entry.block_id)
+            else_end = self._visit_body(node.orelse, else_entry.block_id)
+        else:
+            else_end = current
+        ends = [end for end in (then_end, else_end) if end is not None]
+        if not ends:
+            return None
+        join = self._new_block()
+        for end in ends:
+            self._edge(end, join.block_id)
+        return join.block_id
+
+    def _visit_loop(
+        self,
+        header_stmt: Synthetic,
+        body: Sequence[ast.stmt],
+        orelse: Sequence[ast.stmt],
+        current: int,
+    ) -> Optional[int]:
+        header = self._new_block()
+        header.statements.append(header_stmt)
+        self._edge(current, header.block_id)
+        after = self._new_block()
+        body_entry = self._new_block()
+        self._edge(header.block_id, body_entry.block_id)
+        self._loops.append((header.block_id, after.block_id))
+        body_end = self._visit_body(body, body_entry.block_id)
+        self._loops.pop()
+        if body_end is not None:
+            self._edge(body_end, header.block_id)
+        if orelse:
+            else_entry = self._new_block()
+            self._edge(header.block_id, else_entry.block_id)
+            else_end = self._visit_body(orelse, else_entry.block_id)
+            if else_end is not None:
+                self._edge(else_end, after.block_id)
+        else:
+            self._edge(header.block_id, after.block_id)
+        return after.block_id
+
+    def _visit_while(self, node: ast.While, current: int) -> Optional[int]:
+        return self._visit_loop(
+            Synthetic(node=node.test, origin=node), node.body, node.orelse, current
+        )
+
+    def _visit_for(self, node, current: int) -> Optional[int]:
+        return self._visit_loop(
+            Synthetic(node=node.iter, origin=node, bind=node.target),
+            node.body,
+            node.orelse,
+            current,
+        )
+
+    def _visit_with(self, node, current: int) -> Optional[int]:
+        for item in node.items:
+            self.blocks[current].statements.append(WithEnter(item=item, origin=node))
+        return self._visit_body(node.body, current)
+
+    def _visit_try(self, node: ast.Try, current: int) -> Optional[int]:
+        finally_entry = self._new_block() if node.finalbody else None
+        handler_entries = [self._new_block() for _ in node.handlers]
+        frame = _Frame(
+            handlers=[block.block_id for block in handler_entries],
+            finally_entry=finally_entry.block_id if finally_entry else None,
+        )
+
+        # Try body.  Exception edges are explicit-flow only: a handler is
+        # entered either with the facts held *at try entry* (the body
+        # aborted before binding anything new) or from an explicit
+        # ``raise`` inside the body (which carries that point's facts).
+        # Routing every body block's out-facts to the handlers would
+        # claim a statement can abort *after* completing — the classic
+        # over-approximation that flags `fd = os.open(...)` inside a
+        # try as leaking through its own OSError handler.
+        self._frames.append(frame)
+        body_entry = self._new_block()
+        self._edge(current, body_entry.block_id)
+        for handler_block in handler_entries:
+            self._edge(current, handler_block.block_id)
+        body_end = self._visit_body(node.body, body_entry.block_id)
+        if body_end is not None and node.orelse:
+            body_end = self._visit_body(node.orelse, body_end)
+        self._frames.pop()
+
+        # Handlers and the else clause still run under the finally (and an
+        # uncaught re-raise inside a handler unwinds outward).
+        handler_frame = _Frame(handlers=[], finally_entry=frame.finally_entry)
+        self._frames.append(handler_frame)
+        handler_ends = []
+        for handler, entry in zip(node.handlers, handler_entries):
+            handler_ends.append(self._visit_body(handler.body, entry.block_id))
+        self._frames.pop()
+        frame.finally_unwinds = frame.finally_unwinds or handler_frame.finally_unwinds
+
+        normal_ends = [end for end in [body_end] + handler_ends if end is not None]
+        if finally_entry is None:
+            if not normal_ends:
+                return None
+            join = self._new_block()
+            for end in normal_ends:
+                self._edge(end, join.block_id)
+            return join.block_id
+
+        # A handler-less try/finally still runs the finally when the body
+        # aborts at entry (same explicit-flow contract as above).
+        if not node.handlers:
+            self._edge(current, finally_entry.block_id)
+        for end in normal_ends:
+            self._edge(end, finally_entry.block_id)
+        finally_end = self._visit_body(node.finalbody, finally_entry.block_id)
+        if finally_end is None:
+            return None
+        if frame.finally_unwinds:
+            self._edge(finally_end, self._unwind_target())
+        after = self._new_block()
+        self._edge(finally_end, after.block_id)
+        return after.block_id
+
+
+def build_cfg(function: Union[ast.FunctionDef, ast.AsyncFunctionDef]) -> ControlFlowGraph:
+    """The control-flow graph of one function's own body (nested ``def``
+    statements are bindings, not inlined control flow)."""
+    return _Builder().build(function.body)

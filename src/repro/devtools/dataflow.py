@@ -1,0 +1,82 @@
+"""A small forward gen-kill dataflow framework over :mod:`~repro.devtools.cfg`.
+
+Facts are hashable values in frozensets; the join is set union (a *may*
+analysis: a fact holds at a point if it holds on **some** path there).
+Rules subclass :class:`GenKillAnalysis` — ``gen``/``kill`` per statement
+— or override :meth:`~GenKillAnalysis.transfer` outright, and call
+:func:`solve_forward` for the fixpoint.  REP010 instantiates this with
+"resource handle acquired at site S is live in variable V" facts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable
+
+from .cfg import ControlFlowGraph, Statement
+
+__all__ = ["Facts", "GenKillAnalysis", "DataflowResult", "solve_forward"]
+
+Facts = FrozenSet[Hashable]
+
+
+class GenKillAnalysis:
+    """Per-statement transfer: ``out = (facts - kill) | gen``.
+
+    ``gen``/``kill`` both see the *incoming* facts, so a kill can depend
+    on which facts are currently live (e.g. kill every fact tracking the
+    variable being reassigned).
+    """
+
+    def gen(self, statement: Statement, facts: Facts) -> Facts:
+        return frozenset()
+
+    def kill(self, statement: Statement, facts: Facts) -> Facts:
+        return frozenset()
+
+    def transfer(self, statement: Statement, facts: Facts) -> Facts:
+        return (facts - self.kill(statement, facts)) | self.gen(statement, facts)
+
+
+@dataclass
+class DataflowResult:
+    """Fixpoint facts at block boundaries, keyed by block id."""
+
+    block_in: Dict[int, Facts]
+    block_out: Dict[int, Facts]
+
+    def at_exit(self, cfg: ControlFlowGraph) -> Facts:
+        """Facts that may hold when the function terminates."""
+        return self.block_in[cfg.exit]
+
+
+def solve_forward(
+    cfg: ControlFlowGraph,
+    analysis: GenKillAnalysis,
+    entry_facts: Facts = frozenset(),
+) -> DataflowResult:
+    """Iterate the may-analysis to its (monotone, finite-set) fixpoint."""
+    block_in: Dict[int, Facts] = {block_id: frozenset() for block_id in cfg.blocks}
+    block_out: Dict[int, Facts] = {block_id: frozenset() for block_id in cfg.blocks}
+    block_in[cfg.entry] = entry_facts
+    predecessors = cfg.predecessors()
+
+    worklist = list(cfg.blocks)
+    while worklist:
+        block_id = worklist.pop(0)
+        block = cfg.blocks[block_id]
+        incoming = frozenset(block_in[cfg.entry]) if block_id == cfg.entry else frozenset()
+        for pred in predecessors[block_id]:
+            incoming |= block_out[pred]
+        if block_id == cfg.entry:
+            incoming |= entry_facts
+        facts = incoming
+        for statement in block.statements:
+            facts = analysis.transfer(statement, facts)
+        if facts != block_out[block_id] or incoming != block_in[block_id]:
+            block_in[block_id] = incoming
+            block_out[block_id] = facts
+            for successor in block.successors:
+                if successor not in worklist:
+                    worklist.append(successor)
+    return DataflowResult(block_in=block_in, block_out=block_out)

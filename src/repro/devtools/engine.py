@@ -1,16 +1,34 @@
 """Core of the ``repro check`` static analyser.
 
-One :func:`ast.parse` per file; every registered rule walks the shared
-tree through its own :class:`ast.NodeVisitor`.  Rules register with the
-:func:`rule` decorator (see :mod:`repro.devtools.rules`) and scope
-themselves to path fragments — ``repro/engine/`` for the fold-order rule,
-``repro/serve/`` for the blocking-call rule — so one repo-wide walk
-applies each invariant exactly where it holds.
+Two passes over the project:
+
+* **Pass 1** parses every file exactly once, builds its
+  :class:`~repro.devtools.index.ModuleInfo` record, and runs the
+  *file-scope* rules on the shared tree.  This per-file unit is pure —
+  it depends only on the file's bytes and the rule set — so it fans out
+  across ``--jobs`` worker processes and is cached content-addressed in
+  an :class:`~repro.session.store.ArtifactStore` keyed by (path, file
+  SHA-256, rule-set fingerprint, engine version): warm runs re-parse
+  only changed files.
+* **Pass 2** assembles the per-file records into a
+  :class:`~repro.devtools.index.ProjectIndex` and runs the
+  *project-scope* rules (import cycles, export drift, dead private code,
+  registry coherence) over it in the parent process.
+
+Rules register with the :func:`rule` (file-scope :class:`ast.NodeVisitor`)
+or :func:`project_rule` (index consumer) decorator — see
+:mod:`repro.devtools.rules` — and scope themselves to path fragments so
+one repo-wide walk applies each invariant exactly where it holds.
+File-scope rules may request the per-function CFG/dataflow layer
+(:mod:`~repro.devtools.cfg`, :mod:`~repro.devtools.dataflow`) simply by
+importing it, or the whole-program index with ``needs_index=True`` (such
+rules run in pass 2 and are never cached per-file).
 
 Suppression layers, innermost first:
 
 * ``# repro: noqa[REP002]`` (or a bare ``# repro: noqa``) on the finding
-  line silences that line.
+  line silences that line.  Only real comment tokens count — the marker
+  inside a string literal is data.
 * A JSON baseline file grandfathers known findings by fingerprint
   (``rule:path:snippet`` — line-number free, so unrelated edits above a
   grandfathered line do not un-baseline it).  Only *non-baselined*
@@ -20,35 +38,51 @@ Suppression layers, innermost first:
 from __future__ import annotations
 
 import ast
+import hashlib
 import json
 import re
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import StaticCheckError
+from .index import ModuleInfo, ProjectIndex, build_module_info, noqa_lines
 
 __all__ = [
+    "CHECK_ENGINE_VERSION",
+    "CheckReport",
     "Finding",
     "RuleMeta",
     "all_rules",
+    "analyze",
     "check_paths",
     "check_file",
     "check_source",
+    "check_project_sources",
+    "display_path",
+    "parse_source",
     "iter_python_files",
     "load_baseline",
     "write_baseline",
     "apply_baseline",
+    "baseline_from_findings",
+    "ruleset_fingerprint",
     "rule",
+    "project_rule",
+    "select_rules",
+    "Baseline",
+    "Reporter",
+    "ProjectReporter",
+    "SEVERITIES",
 ]
+
+#: Bump when analysis semantics change: invalidates every cached per-file
+#: result without touching the store format version.
+CHECK_ENGINE_VERSION = 2
 
 #: Severity ladder; both levels fail the gate, the label is informational.
 SEVERITIES = ("error", "warning")
-
-_NOQA_RE = re.compile(
-    r"#\s*repro:\s*noqa(?:\[(?P<ids>REP\d{3}(?:\s*,\s*REP\d{3})*)\])?",
-    re.IGNORECASE,
-)
 
 _RULE_ID_RE = re.compile(r"^REP\d{3}$")
 
@@ -83,20 +117,41 @@ class Finding:
             "snippet": self.snippet,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Finding":
+        return cls(
+            rule=str(data["rule"]),
+            severity=str(data["severity"]),
+            path=str(data["path"]),
+            line=int(data["line"]),  # type: ignore[arg-type]
+            col=int(data["col"]),  # type: ignore[arg-type]
+            message=str(data["message"]),
+            snippet=str(data["snippet"]),
+        )
+
     def __str__(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} [{self.severity}] {self.message}"
 
 
 @dataclass(frozen=True)
 class RuleMeta:
-    """A registered rule: identity, scope predicate and visitor factory."""
+    """A registered rule: identity, scope predicate and factory.
+
+    ``scope`` is ``"file"`` (an :class:`ast.NodeVisitor` factory taking a
+    :class:`Reporter`) or ``"project"`` (a factory taking a
+    :class:`ProjectReporter`, whose instance's ``run(index)`` walks the
+    :class:`~repro.devtools.index.ProjectIndex`).  File rules with
+    ``needs_index`` run in pass 2 with ``(reporter, index)``.
+    """
 
     rule_id: str
     severity: str
     description: str
     rationale: str
-    factory: Callable[["Reporter"], ast.NodeVisitor]
+    factory: Callable
     applies: Callable[[str], bool]
+    scope: str = "file"
+    needs_index: bool = False
 
 
 class Reporter:
@@ -125,7 +180,46 @@ class Reporter:
         )
 
 
+class ProjectReporter:
+    """Reporting handle for project-scope rules.
+
+    Project findings carry a *symbolic* snippet (the symbol, cycle or
+    registry name) instead of a source line: the index does not retain
+    source text, and a stable symbol makes a better baseline fingerprint
+    than a line that drifts with formatting anyway.
+    """
+
+    def __init__(self, meta: RuleMeta) -> None:
+        self._meta = meta
+        self.findings: List[Finding] = []
+
+    def report(
+        self, path: str, line: int, message: str, *, symbol: str, col: int = 0
+    ) -> None:
+        self.findings.append(
+            Finding(
+                rule=self._meta.rule_id,
+                severity=self._meta.severity,
+                path=path,
+                line=line,
+                col=col,
+                message=message,
+                snippet=symbol,
+            )
+        )
+
+
 _REGISTRY: Dict[str, RuleMeta] = {}
+
+
+def _register(meta: RuleMeta) -> None:
+    if not _RULE_ID_RE.match(meta.rule_id):
+        raise ValueError(f"rule id must look like REP123, got {meta.rule_id!r}")
+    if meta.severity not in SEVERITIES:
+        raise ValueError(f"severity must be one of {SEVERITIES}, got {meta.severity!r}")
+    if meta.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {meta.rule_id}")
+    _REGISTRY[meta.rule_id] = meta
 
 
 def rule(
@@ -135,28 +229,59 @@ def rule(
     description: str,
     rationale: str = "",
     applies: Optional[Callable[[str], bool]] = None,
+    needs_index: bool = False,
 ) -> Callable[[type], type]:
     """Class decorator registering an :class:`ast.NodeVisitor` as a rule.
 
-    The decorated class must accept a single :class:`Reporter` argument.
+    The decorated class must accept a single :class:`Reporter` argument
+    (plus the :class:`ProjectIndex` when ``needs_index`` is set).
     ``applies`` receives the file's POSIX-normalised path and gates the
     rule per file (default: every file).
     """
-    if not _RULE_ID_RE.match(rule_id):
-        raise ValueError(f"rule id must look like REP123, got {rule_id!r}")
-    if severity not in SEVERITIES:
-        raise ValueError(f"severity must be one of {SEVERITIES}, got {severity!r}")
-    if rule_id in _REGISTRY:
-        raise ValueError(f"duplicate rule id {rule_id}")
 
     def decorate(cls: type) -> type:
-        _REGISTRY[rule_id] = RuleMeta(
-            rule_id=rule_id,
-            severity=severity,
-            description=description,
-            rationale=rationale,
-            factory=cls,
-            applies=applies or (lambda path: True),
+        _register(
+            RuleMeta(
+                rule_id=rule_id,
+                severity=severity,
+                description=description,
+                rationale=rationale,
+                factory=cls,
+                applies=applies or (lambda path: True),
+                scope="file",
+                needs_index=needs_index,
+            )
+        )
+        return cls
+
+    return decorate
+
+
+def project_rule(
+    rule_id: str,
+    *,
+    severity: str,
+    description: str,
+    rationale: str = "",
+) -> Callable[[type], type]:
+    """Class decorator registering a whole-program rule.
+
+    The decorated class accepts a :class:`ProjectReporter` and exposes
+    ``run(index: ProjectIndex)``; it sees the entire project at once and
+    runs exactly once per check.
+    """
+
+    def decorate(cls: type) -> type:
+        _register(
+            RuleMeta(
+                rule_id=rule_id,
+                severity=severity,
+                description=description,
+                rationale=rationale,
+                factory=cls,
+                applies=lambda path: True,
+                scope="project",
+            )
         )
         return cls
 
@@ -186,49 +311,41 @@ def select_rules(rule_ids: Optional[Sequence[str]]) -> Dict[str, RuleMeta]:
     return dict(sorted(selected.items()))
 
 
+def _split_rules(
+    registry: Dict[str, RuleMeta],
+) -> Tuple[Dict[str, RuleMeta], Dict[str, RuleMeta], Dict[str, RuleMeta]]:
+    """(cacheable file rules, index-requiring file rules, project rules)."""
+    file_rules = {
+        rid: meta
+        for rid, meta in registry.items()
+        if meta.scope == "file" and not meta.needs_index
+    }
+    indexed_rules = {
+        rid: meta
+        for rid, meta in registry.items()
+        if meta.scope == "file" and meta.needs_index
+    }
+    project_rules = {
+        rid: meta for rid, meta in registry.items() if meta.scope == "project"
+    }
+    return file_rules, indexed_rules, project_rules
+
+
 # ----------------------------------------------------------------------
 # Per-source checking
 # ----------------------------------------------------------------------
-def _noqa_lines(lines: Sequence[str]) -> Dict[int, Optional[frozenset]]:
-    """Map 1-based line numbers to suppressed rule ids (``None`` = all)."""
-    suppressed: Dict[int, Optional[frozenset]] = {}
-    for number, text in enumerate(lines, start=1):
-        match = _NOQA_RE.search(text)
-        if not match:
-            continue
-        ids = match.group("ids")
-        if ids is None:
-            suppressed[number] = None
-        else:
-            suppressed[number] = frozenset(part.strip().upper() for part in ids.split(","))
-    return suppressed
-
-
-def check_source(
-    source: str,
-    path: str = "<string>",
-    rules: Optional[Dict[str, RuleMeta]] = None,
-) -> List[Finding]:
-    """Check one source string; ``path`` drives per-rule scoping.
-
-    Fixture tests pass virtual paths (``src/repro/engine/x.py``) to
-    exercise path-scoped rules without touching the filesystem.
-    """
-    normalized = Path(path).as_posix()
-    registry = rules if rules is not None else all_rules()
+def parse_source(source: str, path: str) -> ast.Module:
+    """Parse one source string, mapping syntax errors to check errors."""
     try:
-        tree = ast.parse(source, filename=path)
+        return ast.parse(source, filename=path)
     except SyntaxError as error:
         raise StaticCheckError(f"{path}: cannot parse: {error}") from error
-    lines = source.splitlines()
-    suppressed = _noqa_lines(lines)
-    findings: List[Finding] = []
-    for meta in registry.values():
-        if not meta.applies(normalized):
-            continue
-        reporter = Reporter(meta, normalized, lines)
-        meta.factory(reporter).visit(tree)
-        findings.extend(reporter.findings)
+
+
+def _apply_noqa(
+    findings: Iterable[Finding],
+    suppressed: Dict[int, Optional[frozenset]],
+) -> List[Finding]:
     kept = []
     for finding in findings:
         ids = suppressed.get(finding.line, False)
@@ -240,46 +357,366 @@ def check_source(
     return kept
 
 
+def _run_file_rules(
+    tree: ast.Module,
+    path: str,
+    lines: Sequence[str],
+    rules: Dict[str, RuleMeta],
+    index: Optional[ProjectIndex] = None,
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for meta in rules.values():
+        if not meta.applies(path):
+            continue
+        reporter = Reporter(meta, path, lines)
+        if meta.needs_index:
+            meta.factory(reporter, index).visit(tree)
+        else:
+            meta.factory(reporter).visit(tree)
+        findings.extend(reporter.findings)
+    return findings
+
+
+def check_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Dict[str, RuleMeta]] = None,
+) -> List[Finding]:
+    """Check one source string with the *file-scope* rules.
+
+    Fixture tests pass virtual paths (``src/repro/engine/x.py``) to
+    exercise path-scoped rules without touching the filesystem.  Project
+    rules need a whole tree: see :func:`check_project_sources`.
+    """
+    normalized = Path(path).as_posix()
+    registry = rules if rules is not None else all_rules()
+    file_rules, _, _ = _split_rules(registry)
+    tree = parse_source(source, path)
+    findings = _run_file_rules(tree, normalized, source.splitlines(), file_rules)
+    return _apply_noqa(findings, noqa_lines(source))
+
+
+def check_project_sources(
+    sources: Dict[str, str],
+    rules: Optional[Dict[str, RuleMeta]] = None,
+) -> List[Finding]:
+    """Run the *project-scope* rules over an in-memory fixture tree."""
+    registry = rules if rules is not None else all_rules()
+    _, _, project_rules_ = _split_rules(registry)
+    index = ProjectIndex.from_sources(
+        {Path(path).as_posix(): source for path, source in sources.items()}
+    )
+    return _run_project_rules(index, project_rules_)
+
+
+def _run_project_rules(
+    index: ProjectIndex, rules: Dict[str, RuleMeta]
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for meta in rules.values():
+        reporter = ProjectReporter(meta)
+        meta.factory(reporter).run(index)
+        for finding in reporter.findings:
+            info = index.modules.get(finding.path)
+            suppressed = info.noqa if info is not None else {}
+            findings.extend(_apply_noqa([finding], suppressed))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
 def check_file(path: Path, rules: Optional[Dict[str, RuleMeta]] = None) -> List[Finding]:
-    """Check one file on disk."""
-    try:
-        source = path.read_text(encoding="utf-8")
-    except OSError as error:
-        raise StaticCheckError(f"cannot read {path}: {error}") from error
+    """Check one file on disk with the file-scope rules."""
+    source = _read_source(path)
     return check_source(source, path=str(path), rules=rules)
 
 
-def iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
-    """Yield every ``.py`` file under ``paths`` (files pass through as-is)."""
+def _read_source(path: Path) -> str:
+    try:
+        return path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise StaticCheckError(f"cannot read {path}: {error}") from error
+
+
+# ----------------------------------------------------------------------
+# File walking and path identity
+# ----------------------------------------------------------------------
+def _skippable(parts: Sequence[str]) -> bool:
+    return any(part in _SKIP_DIRS or part.startswith(".") for part in parts)
+
+
+def display_path(path: Path, root: Path) -> str:
+    """The root-relative POSIX path findings and fingerprints carry.
+
+    Absolute and relative invocations of the same target produce the
+    same display path, so baselines written from either agree.  Files
+    outside the root keep their absolute path.
+    """
+    try:
+        return path.relative_to(root).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def iter_python_files(
+    paths: Sequence[Path], root: Optional[Path] = None
+) -> Iterable[Path]:
+    """Yield every ``.py`` file under ``paths``, deduplicated.
+
+    Paths are resolved before deduplication, so passing both a directory
+    and a file inside it (or the same target absolutely and relatively)
+    reports each file once.  The skip rules apply to explicit file
+    arguments too: a file under ``__pycache__`` or a hidden directory is
+    never checked, however it was named.
+    """
+    base = (root or Path.cwd()).resolve()
+    seen = set()
     for entry in paths:
         if entry.is_file():
-            yield entry
+            resolved = entry.resolve()
+            try:
+                parts = resolved.relative_to(base).parts
+            except ValueError:
+                parts = tuple(part for part in entry.parts if part not in ("/", ".."))
+            if _skippable(parts):
+                continue
+            if resolved not in seen:
+                seen.add(resolved)
+                yield resolved
             continue
         if not entry.is_dir():
             raise StaticCheckError(f"no such file or directory: {entry}")
-        for candidate in sorted(entry.rglob("*.py")):
-            if any(part in _SKIP_DIRS or part.startswith(".") for part in candidate.parts):
+        resolved_dir = entry.resolve()
+        for candidate in sorted(resolved_dir.rglob("*.py")):
+            if _skippable(candidate.relative_to(resolved_dir).parts):
                 continue
-            yield candidate
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+# ----------------------------------------------------------------------
+# Whole-program analysis (pass 1 + pass 2)
+# ----------------------------------------------------------------------
+@dataclass
+class CheckReport:
+    """Everything one ``analyze`` run produced, with its accounting."""
+
+    findings: List[Finding]
+    files_checked: int
+    files_cached: int
+    files_analyzed: int
+    parse_seconds: float
+    analysis_seconds: float
+    rule_ids: Tuple[str, ...]
+    jobs: int
+    index: ProjectIndex
+
+
+def ruleset_fingerprint(rule_ids: Sequence[str]) -> str:
+    """Content fingerprint of the selected rules *and* the analyser itself.
+
+    Hashes the devtools package sources, so any change to a rule, the
+    engine, the CFG/dataflow layer or the index invalidates every cached
+    per-file result without a manual version bump.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"engine:{CHECK_ENGINE_VERSION}".encode("utf-8"))
+    for rule_id in sorted(rule_ids):
+        digest.update(rule_id.encode("utf-8"))
+    package_root = Path(__file__).resolve().parent
+    for source_file in sorted(package_root.rglob("*.py")):
+        if "__pycache__" in source_file.parts:
+            continue
+        digest.update(source_file.name.encode("utf-8"))
+        try:
+            digest.update(source_file.read_bytes())
+        except OSError:
+            pass
+    return digest.hexdigest()
+
+
+def _analyze_one(
+    path: str, source: str, rule_ids: Sequence[str]
+) -> Tuple[str, ModuleInfo, List[Finding], float, float]:
+    """Pass-1 unit of work: parse once, index, run the file-scope rules.
+
+    Top-level so it pickles into ``--jobs`` worker processes; the rule
+    registry re-materialises from ids inside each worker.
+    """
+    registry = all_rules()
+    rules = {rid: registry[rid] for rid in rule_ids}
+    started = time.perf_counter()
+    tree = parse_source(source, path)
+    info = build_module_info(tree, source, path)
+    parsed = time.perf_counter()
+    findings = _apply_noqa(
+        _run_file_rules(tree, path, source.splitlines(), rules), info.noqa
+    )
+    done = time.perf_counter()
+    return path, info, findings, parsed - started, done - parsed
+
+
+def _analyze_one_payload(args: Tuple[str, str, Tuple[str, ...]]):
+    return _analyze_one(*args)
+
+
+def analyze(
+    paths: Sequence[Path],
+    rules: Optional[Dict[str, RuleMeta]] = None,
+    *,
+    jobs: int = 1,
+    store=None,
+    root: Optional[Path] = None,
+) -> CheckReport:
+    """Run the full two-pass analysis over every python file in ``paths``.
+
+    ``jobs > 1`` fans pass 1 across a ``ProcessPoolExecutor``; ``store``
+    (an :class:`~repro.session.store.ArtifactStore` or None) caches
+    per-file pass-1 results content-addressed by file SHA-256, rule-set
+    fingerprint and engine version.
+    """
+    registry = rules if rules is not None else all_rules()
+    file_rules, indexed_rules, project_rules_ = _split_rules(registry)
+    base = (root or Path.cwd()).resolve()
+    fingerprint = ruleset_fingerprint(tuple(registry))
+
+    files = list(iter_python_files(paths, root=base))
+    display = {file_path: display_path(file_path, base) for file_path in files}
+
+    findings: List[Finding] = []
+    infos: Dict[str, ModuleInfo] = {}
+    files_cached = 0
+    parse_seconds = 0.0
+    analysis_seconds = 0.0
+    pending: List[Tuple[Path, str, str]] = []  # (path, display, source)
+
+    for file_path in files:
+        shown = display[file_path]
+        if store is not None:
+            source = _read_source(file_path)
+            sha = hashlib.sha256(source.encode("utf-8")).hexdigest()
+            key = store.check_key(shown, sha, fingerprint, CHECK_ENGINE_VERSION)
+            cached = store.load_check(key)
+            if cached is not None:
+                try:
+                    info = ModuleInfo.from_dict(cached["module_info"])
+                    cached_findings = [
+                        Finding.from_dict(entry) for entry in cached["findings"]
+                    ]
+                except (KeyError, TypeError, ValueError):
+                    pass  # malformed payload: fall through to re-analysis
+                else:
+                    infos[shown] = info
+                    findings.extend(cached_findings)
+                    files_cached += 1
+                    continue
+            pending.append((file_path, shown, source))
+        else:
+            pending.append((file_path, shown, _read_source(file_path)))
+
+    file_rule_ids = tuple(file_rules)
+    work = [(shown, source, file_rule_ids) for _, shown, source in pending]
+    if jobs > 1 and len(work) > 1:
+        results = _map_parallel(work, jobs)
+    else:
+        results = [_analyze_one_payload(item) for item in work]
+
+    for (file_path, shown, source), (
+        _,
+        info,
+        file_findings,
+        parse_dt,
+        rules_dt,
+    ) in zip(pending, results):
+        infos[shown] = info
+        findings.extend(file_findings)
+        parse_seconds += parse_dt
+        analysis_seconds += rules_dt
+        if store is not None:
+            sha = hashlib.sha256(source.encode("utf-8")).hexdigest()
+            key = store.check_key(shown, sha, fingerprint, CHECK_ENGINE_VERSION)
+            store.save_check(
+                key,
+                {
+                    "module_info": info.as_dict(),
+                    "findings": [finding.as_dict() for finding in file_findings],
+                },
+            )
+
+    # Pass 2: assemble the index, run project rules and any file rules
+    # that asked for the index (re-parsed here; never cached per-file).
+    pass2_started = time.perf_counter()
+    index = ProjectIndex(infos)
+    findings.extend(_run_project_rules(index, project_rules_))
+    if indexed_rules:
+        for file_path in files:
+            shown = display[file_path]
+            applicable = {
+                rid: meta
+                for rid, meta in indexed_rules.items()
+                if meta.applies(shown)
+            }
+            if not applicable:
+                continue
+            source = _read_source(file_path)
+            tree = parse_source(source, shown)
+            info = infos.get(shown)
+            suppressed = info.noqa if info is not None else noqa_lines(source)
+            findings.extend(
+                _apply_noqa(
+                    _run_file_rules(
+                        tree, shown, source.splitlines(), applicable, index=index
+                    ),
+                    suppressed,
+                )
+            )
+    analysis_seconds += time.perf_counter() - pass2_started
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return CheckReport(
+        findings=findings,
+        files_checked=len(files),
+        files_cached=files_cached,
+        files_analyzed=len(pending),
+        parse_seconds=parse_seconds,
+        analysis_seconds=analysis_seconds,
+        rule_ids=tuple(registry),
+        jobs=jobs,
+        index=index,
+    )
+
+
+def _map_parallel(work: List[Tuple[str, str, Tuple[str, ...]]], jobs: int):
+    """Fan pass-1 units across a process pool, preserving input order.
+
+    Uses the fork context where available so workers inherit the parsed
+    rule registry (and the imported numpy stack the registry-aware rules
+    pull in) instead of re-importing it per worker.
+    """
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor
+
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX hosts
+        context = multiprocessing.get_context()
+    chunksize = max(1, len(work) // (jobs * 4))
+    with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
+        return list(pool.map(_analyze_one_payload, work, chunksize=chunksize))
 
 
 def check_paths(
     paths: Sequence[Path],
     rules: Optional[Dict[str, RuleMeta]] = None,
 ) -> Tuple[List[Finding], int]:
-    """Check every python file under ``paths``.
+    """Check every python file under ``paths`` (serial, no cache).
 
     Returns ``(findings, files_checked)``; findings are sorted by
-    location for stable text/JSON output.
+    location for stable text/JSON output.  Thin compatibility wrapper
+    over :func:`analyze`.
     """
-    registry = rules if rules is not None else all_rules()
-    findings: List[Finding] = []
-    files_checked = 0
-    for file_path in iter_python_files(paths):
-        files_checked += 1
-        findings.extend(check_file(file_path, rules=registry))
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    return findings, files_checked
+    report = analyze(paths, rules=rules)
+    return report.findings, report.files_checked
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,618 @@
+"""Pass 1 of the whole-program analyser: the :class:`ProjectIndex`.
+
+One :func:`ast.parse` per file produces a :class:`ModuleInfo` — the
+module's dotted name, top-level symbol definitions, ``__all__`` exports,
+import records (with relative imports resolved against the dotted name),
+every function/method definition, and conservative reference/string
+tables.  A :class:`ProjectIndex` is just the collection of those per-file
+records plus cross-file lookups; the cross-file rules (REP011-REP014)
+consume the index instead of walking trees themselves, so the whole
+project is still parsed exactly once per run.
+
+Everything here is plain picklable/JSON-able data: per-file records ride
+to ``--jobs`` workers and into the ``--cache-dir`` artifact store, and a
+warm run reassembles the index from cached records without re-parsing
+unchanged files.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "FunctionRecord",
+    "ImportRecord",
+    "ModuleInfo",
+    "ProjectIndex",
+    "build_module_info",
+    "module_name_for",
+    "noqa_lines",
+]
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<ids>REP\d{3}(?:\s*,\s*REP\d{3})*)\])?",
+    re.IGNORECASE,
+)
+
+#: String constants longer than this are not indexed (they are prose, not
+#: names; the reference tables only exist to resolve identifiers).
+_MAX_LITERAL = 60
+
+#: Path anchors a display path is rooted at when deriving a dotted module
+#: name; ``src`` layouts strip the anchor, the rest keep it.
+_TREE_ANCHORS = ("tests", "benchmarks", "examples")
+
+
+def noqa_lines(source: str) -> Dict[int, Optional[FrozenSet[str]]]:
+    """Map 1-based line numbers to suppressed rule ids (``None`` = all).
+
+    Only real ``COMMENT`` tokens count: a ``# repro: noqa`` *inside a
+    string literal* (rule fixtures, docstrings quoting the syntax) is
+    data, not a suppression.  Sources that fail to tokenize fall back to
+    a plain line scan — they cannot contain string-literal decoys the
+    tokenizer would have distinguished anyway.
+    """
+    suppressed: Dict[int, Optional[FrozenSet[str]]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for number, text in enumerate(source.splitlines(), start=1):
+            _record_noqa(suppressed, number, text)
+        return suppressed
+    for token in tokens:
+        if token.type == tokenize.COMMENT:
+            _record_noqa(suppressed, token.start[0], token.string)
+    return suppressed
+
+
+def _record_noqa(
+    suppressed: Dict[int, Optional[FrozenSet[str]]], number: int, text: str
+) -> None:
+    match = _NOQA_RE.search(text)
+    if not match:
+        return
+    ids = match.group("ids")
+    if ids is None:
+        suppressed[number] = None
+    else:
+        suppressed[number] = frozenset(part.strip().upper() for part in ids.split(","))
+
+
+def module_name_for(path: str) -> str:
+    """Derive a dotted module name from a POSIX display path.
+
+    ``src/repro/engine/parallel.py`` -> ``repro.engine.parallel`` (the
+    last ``src`` component anchors an importable layout and is stripped);
+    ``tests/test_cli.py`` -> ``tests.test_cli``.  Paths that fit neither
+    shape keep their full component chain minus the suffix.
+    """
+    parts = [part for part in path.split("/") if part not in ("", ".")]
+    if not parts:
+        return ""
+    if "src" in parts:
+        parts = parts[len(parts) - 1 - parts[::-1].index("src") + 1 :]
+    else:
+        for anchor in _TREE_ANCHORS:
+            if anchor in parts:
+                parts = parts[parts.index(anchor) :]
+                break
+        else:
+            if "repro" in parts:
+                parts = parts[parts.index("repro") :]
+            else:
+                parts = parts[-1:]
+    if not parts:
+        return ""
+    leaf = parts[-1]
+    if leaf.endswith(".py"):
+        leaf = leaf[: -len(".py")]
+    parts = parts[:-1] + ([leaf] if leaf != "__init__" else [])
+    return ".".join(parts)
+
+
+@dataclass(frozen=True)
+class FunctionRecord:
+    """One ``def``/``async def`` anywhere in a module."""
+
+    qualname: str
+    name: str
+    line: int
+    is_method: bool
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "qualname": self.qualname,
+            "name": self.name,
+            "line": self.line,
+            "is_method": self.is_method,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FunctionRecord":
+        return cls(
+            qualname=str(data["qualname"]),
+            name=str(data["name"]),
+            line=int(data["line"]),  # type: ignore[arg-type]
+            is_method=bool(data["is_method"]),
+        )
+
+
+@dataclass(frozen=True)
+class ImportRecord:
+    """One import statement, with relative levels already resolved.
+
+    ``module`` is the dotted target (``repro.engine.pregel``); ``names``
+    are the ``from X import a, b`` aliases (empty for ``import X``).
+    ``scope`` distinguishes module-level imports from function-scope ones
+    (the sanctioned cycle-breaking idiom); ``typing_only`` marks imports
+    under ``if TYPE_CHECKING:`` which never execute at runtime.
+    """
+
+    module: str
+    names: Tuple[str, ...]
+    line: int
+    scope: str = "toplevel"
+    typing_only: bool = False
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "module": self.module,
+            "names": list(self.names),
+            "line": self.line,
+            "scope": self.scope,
+            "typing_only": self.typing_only,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ImportRecord":
+        return cls(
+            module=str(data["module"]),
+            names=tuple(str(n) for n in data["names"]),  # type: ignore[union-attr]
+            line=int(data["line"]),  # type: ignore[arg-type]
+            scope=str(data["scope"]),
+            typing_only=bool(data["typing_only"]),
+        )
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """Everything the cross-file rules need to know about one module."""
+
+    path: str
+    module: str
+    is_test: bool
+    #: Top-level name -> definition line (functions, classes, assignments).
+    definitions: Dict[str, int] = field(default_factory=dict)
+    #: Top-level names bound by imports -> line.
+    import_bindings: Dict[str, int] = field(default_factory=dict)
+    #: The ``__all__`` literal, or None when no ``__all__`` is declared.
+    exports: Optional[Tuple[str, ...]] = None
+    #: False when ``__all__`` exists but is built dynamically (``+=`` ...).
+    exports_resolved: bool = True
+    exports_line: int = 0
+    imports: Tuple[ImportRecord, ...] = ()
+    functions: Tuple[FunctionRecord, ...] = ()
+    #: Every Name load and attribute name used anywhere in the module.
+    references: FrozenSet[str] = frozenset()
+    #: Short string constants (identifier-ish data: registry names, keys).
+    string_literals: FrozenSet[str] = frozenset()
+    #: Top-level ``NAME = {str keys}/[str elems]`` -> (values, line).
+    literal_collections: Dict[str, Tuple[Tuple[str, ...], int]] = field(
+        default_factory=dict
+    )
+    #: 1-based line -> suppressed rule ids (None = every rule).
+    noqa: Dict[int, Optional[FrozenSet[str]]] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "module": self.module,
+            "is_test": self.is_test,
+            "definitions": dict(self.definitions),
+            "import_bindings": dict(self.import_bindings),
+            "exports": None if self.exports is None else list(self.exports),
+            "exports_resolved": self.exports_resolved,
+            "exports_line": self.exports_line,
+            "imports": [record.as_dict() for record in self.imports],
+            "functions": [record.as_dict() for record in self.functions],
+            "references": sorted(self.references),
+            "string_literals": sorted(self.string_literals),
+            "literal_collections": {
+                name: {"values": list(values), "line": line}
+                for name, (values, line) in self.literal_collections.items()
+            },
+            "noqa": {
+                str(line): None if ids is None else sorted(ids)
+                for line, ids in self.noqa.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ModuleInfo":
+        exports = data["exports"]
+        collections = {
+            str(name): (
+                tuple(str(v) for v in entry["values"]),
+                int(entry["line"]),
+            )
+            for name, entry in dict(data["literal_collections"]).items()  # type: ignore[arg-type]
+        }
+        noqa = {
+            int(line): None if ids is None else frozenset(str(i) for i in ids)
+            for line, ids in dict(data["noqa"]).items()  # type: ignore[arg-type]
+        }
+        return cls(
+            path=str(data["path"]),
+            module=str(data["module"]),
+            is_test=bool(data["is_test"]),
+            definitions={str(k): int(v) for k, v in dict(data["definitions"]).items()},  # type: ignore[arg-type]
+            import_bindings={
+                str(k): int(v) for k, v in dict(data["import_bindings"]).items()  # type: ignore[arg-type]
+            },
+            exports=None if exports is None else tuple(str(n) for n in exports),  # type: ignore[union-attr]
+            exports_resolved=bool(data["exports_resolved"]),
+            exports_line=int(data["exports_line"]),  # type: ignore[arg-type]
+            imports=tuple(
+                ImportRecord.from_dict(entry) for entry in data["imports"]  # type: ignore[union-attr]
+            ),
+            functions=tuple(
+                FunctionRecord.from_dict(entry) for entry in data["functions"]  # type: ignore[union-attr]
+            ),
+            references=frozenset(str(n) for n in data["references"]),  # type: ignore[union-attr]
+            string_literals=frozenset(str(n) for n in data["string_literals"]),  # type: ignore[union-attr]
+            literal_collections=collections,
+            noqa=noqa,
+        )
+
+
+def _is_test_path(path: str) -> bool:
+    name = path.rsplit("/", 1)[-1]
+    return (
+        "/tests/" in path
+        or path.startswith("tests/")
+        or name.startswith("test_")
+        or name == "conftest.py"
+    )
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def _resolve_relative(module: str, node: ast.ImportFrom) -> Optional[str]:
+    """Absolute dotted target of an ``ImportFrom`` within ``module``."""
+    if node.level == 0:
+        return node.module
+    # The package containing the module: its own name for __init__ modules
+    # is the module name itself; for plain modules drop the last segment.
+    parts = module.split(".") if module else []
+    if parts:
+        parts = parts[:-1]
+    hops = node.level - 1
+    if hops > len(parts):
+        return None
+    base = parts[: len(parts) - hops] if hops else parts
+    pieces = [p for p in (".".join(base), node.module or "") if p]
+    return ".".join(pieces) if pieces else None
+
+
+class _ReferenceCollector(ast.NodeVisitor):
+    """Names loaded, attributes touched and short strings seen anywhere."""
+
+    def __init__(self) -> None:
+        self.references: set = set()
+        self.strings: set = set()
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.references.add(node.id)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        self.references.add(node.attr)
+        self.generic_visit(node)
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        if isinstance(node.value, str) and 0 < len(node.value) <= _MAX_LITERAL:
+            self.strings.add(node.value)
+
+
+class _FunctionCollector(ast.NodeVisitor):
+    """Every def/async def with its class-aware qualified name."""
+
+    def __init__(self) -> None:
+        self.functions: List[FunctionRecord] = []
+        self._stack: List[Tuple[str, bool]] = []
+
+    def _visit_def(self, node) -> None:
+        qualname = ".".join([name for name, _ in self._stack] + [node.name])
+        is_method = bool(self._stack) and self._stack[-1][1]
+        self.functions.append(
+            FunctionRecord(
+                qualname=qualname, name=node.name, line=node.lineno, is_method=is_method
+            )
+        )
+        self._stack.append((node.name, False))
+        self.generic_visit(node)
+        self._stack.pop()
+
+    visit_FunctionDef = _visit_def
+    visit_AsyncFunctionDef = _visit_def
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._stack.append((node.name, True))
+        self.generic_visit(node)
+        self._stack.pop()
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        return  # lambdas have no name to index
+
+
+class _LazyImportCollector(ast.NodeVisitor):
+    """Function-scope imports (recorded, but never cycle-graph edges)."""
+
+    def __init__(self, module: str) -> None:
+        self.module = module
+        self.records: List[ImportRecord] = []
+        self._depth = 0
+
+    def _visit_def(self, node) -> None:
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+    visit_FunctionDef = _visit_def
+    visit_AsyncFunctionDef = _visit_def
+
+    def visit_Import(self, node: ast.Import) -> None:
+        if self._depth:
+            for alias in node.names:
+                self.records.append(
+                    ImportRecord(
+                        module=alias.name, names=(), line=node.lineno, scope="function"
+                    )
+                )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if self._depth:
+            target = _resolve_relative(self.module, node)
+            if target:
+                self.records.append(
+                    ImportRecord(
+                        module=target,
+                        names=tuple(alias.name for alias in node.names),
+                        line=node.lineno,
+                        scope="function",
+                    )
+                )
+
+
+def _string_elements(node: ast.expr) -> Optional[Tuple[str, ...]]:
+    """The all-string elements/keys of a literal container, else None."""
+    if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+        values = node.elts
+    elif isinstance(node, ast.Dict):
+        values = [key for key in node.keys if key is not None]
+        if len(values) != len(node.keys):
+            return None
+    else:
+        return None
+    collected = []
+    for value in values:
+        if not (isinstance(value, ast.Constant) and isinstance(value.value, str)):
+            return None
+        collected.append(value.value)
+    return tuple(collected)
+
+
+def build_module_info(
+    tree: ast.Module, source: str, path: str
+) -> ModuleInfo:
+    """Build one module's index record from its already-parsed tree."""
+    module = module_name_for(path)
+    definitions: Dict[str, int] = {}
+    import_bindings: Dict[str, int] = {}
+    imports: List[ImportRecord] = []
+    literal_collections: Dict[str, Tuple[Tuple[str, ...], int]] = {}
+    exports: Optional[Tuple[str, ...]] = None
+    exports_resolved = True
+    exports_line = 0
+
+    def record_target(target: ast.expr, line: int) -> None:
+        if isinstance(target, ast.Name):
+            definitions.setdefault(target.id, line)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                record_target(element, line)
+
+    def scan_block(statements: Sequence[ast.stmt], typing_only: bool, top: bool) -> None:
+        nonlocal exports, exports_resolved, exports_line
+        for node in statements:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                definitions.setdefault(node.name, node.lineno)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    import_bindings.setdefault(bound, node.lineno)
+                    imports.append(
+                        ImportRecord(
+                            module=alias.name,
+                            names=(),
+                            line=node.lineno,
+                            typing_only=typing_only,
+                        )
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                target = _resolve_relative(module, node)
+                for alias in node.names:
+                    if alias.name != "*":
+                        import_bindings.setdefault(
+                            alias.asname or alias.name, node.lineno
+                        )
+                if target:
+                    imports.append(
+                        ImportRecord(
+                            module=target,
+                            names=tuple(alias.name for alias in node.names),
+                            line=node.lineno,
+                            typing_only=typing_only,
+                        )
+                    )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    record_target(target, node.lineno)
+                if (
+                    top
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                ):
+                    name = node.targets[0].id
+                    elements = _string_elements(node.value)
+                    if name == "__all__":
+                        exports = elements
+                        exports_resolved = elements is not None
+                        exports_line = node.lineno
+                    elif elements is not None:
+                        literal_collections[name] = (elements, node.lineno)
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name):
+                    definitions.setdefault(node.target.id, node.lineno)
+                    if top and node.value is not None:
+                        name = node.target.id
+                        elements = _string_elements(node.value)
+                        if name == "__all__":
+                            exports = elements
+                            exports_resolved = elements is not None
+                            exports_line = node.lineno
+                        elif elements is not None:
+                            literal_collections[name] = (elements, node.lineno)
+            elif isinstance(node, ast.AugAssign):
+                if isinstance(node.target, ast.Name) and node.target.id == "__all__":
+                    exports_resolved = False
+                    if not exports_line:
+                        exports_line = node.lineno
+            elif isinstance(node, ast.If):
+                branch_typing = typing_only or _is_type_checking_test(node.test)
+                scan_block(node.body, branch_typing, top=False)
+                scan_block(node.orelse, typing_only, top=False)
+            elif isinstance(node, ast.Try):
+                scan_block(node.body, typing_only, top=False)
+                for handler in node.handlers:
+                    scan_block(handler.body, typing_only, top=False)
+                scan_block(node.orelse, typing_only, top=False)
+                scan_block(node.finalbody, typing_only, top=False)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                scan_block(node.body, typing_only, top=False)
+            elif isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                scan_block(node.body, typing_only, top=False)
+                scan_block(node.orelse, typing_only, top=False)
+
+    scan_block(tree.body, typing_only=False, top=True)
+
+    references = _ReferenceCollector()
+    references.visit(tree)
+    functions = _FunctionCollector()
+    functions.visit(tree)
+    lazy = _LazyImportCollector(module)
+    lazy.visit(tree)
+    imports.extend(lazy.records)
+
+    return ModuleInfo(
+        path=path,
+        module=module,
+        is_test=_is_test_path(path),
+        definitions=definitions,
+        import_bindings=import_bindings,
+        exports=exports,
+        exports_resolved=exports_resolved,
+        exports_line=exports_line,
+        imports=tuple(imports),
+        functions=tuple(functions.functions),
+        references=frozenset(references.references),
+        string_literals=frozenset(references.strings),
+        literal_collections=literal_collections,
+        noqa=noqa_lines(source),
+    )
+
+
+class ProjectIndex:
+    """The assembled pass-1 output: every module record plus lookups."""
+
+    def __init__(self, modules: Dict[str, ModuleInfo]) -> None:
+        self.modules: Dict[str, ModuleInfo] = dict(sorted(modules.items()))
+        self.by_module: Dict[str, str] = {}
+        for path, info in self.modules.items():
+            if info.module:
+                self.by_module.setdefault(info.module, path)
+        self._all_references: Optional[FrozenSet[str]] = None
+        self._all_test_literals: Optional[FrozenSet[str]] = None
+
+    @classmethod
+    def from_sources(cls, sources: Dict[str, str]) -> "ProjectIndex":
+        """Build an index from in-memory sources (fixture trees)."""
+        from .engine import parse_source
+
+        modules = {}
+        for path, source in sources.items():
+            tree = parse_source(source, path)
+            modules[path] = build_module_info(tree, source, path)
+        return cls(modules)
+
+    def module_at(self, dotted: str) -> Optional[ModuleInfo]:
+        path = self.by_module.get(dotted)
+        return None if path is None else self.modules[path]
+
+    def modules_matching(self, suffix: str) -> List[ModuleInfo]:
+        """Module records whose display path ends with ``suffix``."""
+        return [
+            info for path, info in self.modules.items() if path.endswith(suffix)
+        ]
+
+    def library_modules(self) -> List[ModuleInfo]:
+        return [
+            info
+            for info in self.modules.values()
+            if not info.is_test and "repro/" in info.path
+        ]
+
+    def test_modules(self) -> List[ModuleInfo]:
+        return [info for info in self.modules.values() if info.is_test]
+
+    def all_references(self) -> FrozenSet[str]:
+        """Every name referenced anywhere in the project (tests included),
+        plus identifier-looking string literals (``getattr`` indirection)."""
+        if self._all_references is None:
+            seen: set = set()
+            for info in self.modules.values():
+                seen.update(info.references)
+                seen.update(
+                    literal
+                    for literal in info.string_literals
+                    if literal.isidentifier()
+                )
+            self._all_references = frozenset(seen)
+        return self._all_references
+
+    def test_string_literals(self) -> FrozenSet[str]:
+        """Lower-cased string literals across every test module."""
+        if self._all_test_literals is None:
+            seen: set = set()
+            for info in self.test_modules():
+                seen.update(literal.lower() for literal in info.string_literals)
+            self._all_test_literals = frozenset(seen)
+        return self._all_test_literals
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProjectIndex({len(self.modules)} modules)"

@@ -1,0 +1,210 @@
+"""REP010: resource handles must be closed on every exit path.
+
+PRs 7-9 each grew code holding OS-backed handles — ``SharedMemory``
+attachments, ``open()`` file objects, ``np.load(..., mmap_mode=...)``
+maps — and the bugs that bit were never the happy path: they were the
+early ``return`` before ``close()``, the ``raise`` that skipped
+``unlink()``.  A per-file pattern match cannot see "some path misses the
+release"; this rule can, because it runs a forward may-analysis over the
+per-function CFG (:mod:`repro.devtools.cfg` / ``dataflow``).
+
+A fact is born when a *local variable* is assigned from an acquisition
+call (``open``/``fdopen``/``open_memmap``, ``SharedMemory(...)``,
+``np.load`` with a non-None ``mmap_mode``).  The fact dies when the
+variable is
+
+* released: a ``.close()``/``.unlink()``/``.release()``/``.terminate()``/
+  ``.shutdown()`` method call on it, or entering a ``with`` block
+  (directly or via ``closing(v)``), or
+* no longer this function's problem: the bare name escapes (returned,
+  yielded, passed as an argument, stored in a container/attribute,
+  captured by a nested ``def``) — ownership moved — or the variable is
+  reassigned.
+
+Using the handle (``v.read()``, ``v.buf``) keeps the fact alive: only the
+*bare* name transfers ownership.  Any fact still live at the virtual EXIT
+block means some path — fall-through, early return or explicit raise —
+ends the function with the handle open, and is reported at the
+acquisition site.  ``shm_registry.py`` owns its own segment lifecycle
+protocol (REP003's jurisdiction) and is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Hashable, List, Set, Tuple
+
+from ..cfg import Statement, Synthetic, WithEnter, build_cfg
+from ..dataflow import GenKillAnalysis, solve_forward
+from ..engine import Reporter, rule
+from .common import in_library
+
+#: Call-name tails that hand back a handle the caller must release.
+#: ``os.fdopen`` is deliberately absent: it *adopts* an already-tracked
+#: fd (acquired via ``os.open``) rather than acquiring anything new.
+_ACQUIRE_TAILS = {"open", "open_memmap", "SharedMemory"}
+
+#: Method names that release a handle.
+_RELEASE_ATTRS = {"close", "unlink", "release", "terminate", "shutdown", "__exit__"}
+
+#: Wrappers that adopt a handle into a ``with`` block.
+_ADOPTING_WRAPPERS = {"closing", "ExitStack", "enter_context", "push"}
+
+
+def _applies(path: str) -> bool:
+    return in_library(path) and not path.endswith("engine/shm_registry.py")
+
+
+def _call_tail(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _is_acquisition(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    tail = _call_tail(node)
+    if tail in _ACQUIRE_TAILS:
+        return True
+    if tail == "load":  # np.load only leaks when it returns an open mmap
+        for keyword in node.keywords:
+            if keyword.arg == "mmap_mode":
+                return not (
+                    isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is None
+                )
+    return False
+
+
+class _StatementNames(ast.NodeVisitor):
+    """Name roles within one statement, for the kill set.
+
+    ``released``: receivers of release-method calls and handles adopted
+    by ``closing(...)``-style wrappers.  ``escaped``: bare Name loads —
+    a name that is only ever the *base of an attribute access* is a use,
+    not an escape.  ``assigned``: Store-context bindings.
+    """
+
+    def __init__(self) -> None:
+        self.released: Set[str] = set()
+        self.escaped: Set[str] = set()
+        self.assigned: Set[str] = set()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _RELEASE_ATTRS:
+            if isinstance(func.value, ast.Name):
+                self.released.add(func.value.id)
+        if isinstance(func, ast.Name) and func.id in _ADOPTING_WRAPPERS or (
+            isinstance(func, ast.Attribute) and func.attr in _ADOPTING_WRAPPERS
+        ):
+            for arg in node.args:
+                if isinstance(arg, ast.Name):
+                    self.released.add(arg.id)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # The receiver name is a use, not an escape; anything deeper
+        # (subscripts, calls inside the chain) is visited normally.
+        if isinstance(node.value, ast.Name):
+            for child in ast.iter_child_nodes(node):
+                if child is not node.value:
+                    self.visit(child)
+            return
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.escaped.add(node.id)
+        else:
+            self.assigned.add(node.id)
+
+
+def _statement_names(statement: Statement) -> _StatementNames:
+    names = _StatementNames()
+    if isinstance(statement, Synthetic):
+        names.visit(statement.node)
+        if statement.bind is not None:
+            names.visit(statement.bind)
+    elif isinstance(statement, WithEnter):
+        item = statement.item
+        if isinstance(item.context_expr, ast.Name):
+            names.released.add(item.context_expr.id)
+        else:
+            names.visit(item.context_expr)
+            if isinstance(item.context_expr, ast.Call):
+                for arg in item.context_expr.args:
+                    if isinstance(arg, ast.Name):
+                        names.released.add(arg.id)
+        if item.optional_vars is not None:
+            names.visit(item.optional_vars)
+    else:
+        names.visit(statement)
+    return names
+
+
+#: A live handle: (variable name, acquisition call node).
+_Fact = Tuple[str, ast.AST]
+
+
+class _HandleLiveness(GenKillAnalysis):
+    def gen(self, statement: Statement, facts: FrozenSet[Hashable]) -> FrozenSet[Hashable]:
+        born: List[_Fact] = []
+        if isinstance(statement, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                statement.targets
+                if isinstance(statement, ast.Assign)
+                else [statement.target]
+            )
+            value = statement.value
+            if value is not None and _is_acquisition(value):
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        born.append((target.id, value))
+        return frozenset(born)
+
+    def kill(self, statement: Statement, facts: FrozenSet[Hashable]) -> FrozenSet[Hashable]:
+        if not facts:
+            return frozenset()
+        names = _statement_names(statement)
+        dead = names.released | names.escaped | names.assigned
+        if not dead:
+            return frozenset()
+        return frozenset(fact for fact in facts if fact[0] in dead)
+
+
+@rule(
+    "REP010",
+    severity="error",
+    description="resource handle (SharedMemory/open/np.load mmap) has an exit "
+    "path that never releases it",
+    rationale="PR 7/9 leak guarantees require every handle to reach "
+    "close/unlink/with on all paths, including early returns and raises",
+    applies=_applies,
+)
+class ResourceLifecycleRule(ast.NodeVisitor):
+    def __init__(self, reporter: Reporter) -> None:
+        self.reporter = reporter
+
+    def _check_function(self, node) -> None:
+        cfg = build_cfg(node)
+        result = solve_forward(cfg, _HandleLiveness())
+        leaked = sorted(
+            result.at_exit(cfg),
+            key=lambda fact: (getattr(fact[1], "lineno", 0), fact[0]),
+        )
+        for name, site in leaked:
+            self.reporter.report(
+                site,
+                f"handle '{name}' may reach an exit of '{node.name}' without "
+                "close/unlink/with; release it on every path (try/finally or "
+                "a with block), or hand ownership off explicitly",
+            )
+        self.generic_visit(node)  # nested defs get their own CFG
+
+    visit_FunctionDef = _check_function
+    visit_AsyncFunctionDef = _check_function

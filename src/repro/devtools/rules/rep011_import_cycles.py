@@ -1,0 +1,152 @@
+"""REP011: no import cycles among ``repro.*`` modules.
+
+The engine/session/serve layering only stays loadable because module
+imports form a DAG; a cycle makes import order load-bearing (whichever
+module imports first sees a half-initialised partner) and has already
+forced function-scope imports in a few places.  This rule builds the
+import graph from the :class:`~repro.devtools.index.ProjectIndex` —
+module-level, non-``TYPE_CHECKING`` imports only, since a deliberate
+function-scope import is the sanctioned way to break a cycle — and
+reports each strongly connected component once, as a minimal cycle
+(shortest loop through its first module), anchored at that module's
+offending import line.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..engine import ProjectReporter, project_rule
+from ..index import ModuleInfo, ProjectIndex
+
+
+def _edges(info: ModuleInfo, nodes: Set[str], index: ProjectIndex) -> Dict[str, int]:
+    """Importable cycle edges from one module: target -> import line.
+
+    ``from pkg import submodule`` resolves to the submodule when the
+    index knows it, else to ``pkg`` itself; edges leaving the ``repro.*``
+    library node set (or pointing home) are dropped.
+    """
+    targets: Dict[str, int] = {}
+    for record in info.imports:
+        if record.scope != "toplevel" or record.typing_only:
+            continue
+        resolved: List[str] = []
+        if record.names:
+            for name in record.names:
+                dotted = f"{record.module}.{name}"
+                resolved.append(dotted if dotted in index.by_module else record.module)
+        else:
+            resolved.append(record.module)
+        for target in resolved:
+            if target in nodes and target != info.module:
+                targets.setdefault(target, record.line)
+    return targets
+
+
+def _strongly_connected(graph: Dict[str, Dict[str, int]]) -> List[List[str]]:
+    """Iterative Tarjan; returns SCCs with >1 node (self-loops can't occur:
+    ``_edges`` drops them)."""
+    index_counter = [0]
+    stack: List[str] = []
+    lowlink: Dict[str, int] = {}
+    number: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    components: List[List[str]] = []
+
+    for root in sorted(graph):
+        if root in number:
+            continue
+        work = [(root, iter(sorted(graph[root])))]
+        number[root] = lowlink[root] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in number:
+                    number[successor] = lowlink[successor] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor, iter(sorted(graph[successor]))))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlink[node] = min(lowlink[node], number[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == number[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    components.append(sorted(component))
+    return components
+
+
+def _minimal_cycle(start: str, component: Set[str], graph: Dict[str, Dict[str, int]]) -> List[str]:
+    """Shortest cycle through ``start`` staying inside the component (BFS)."""
+    parents: Dict[str, Optional[str]] = {start: None}
+    frontier = [start]
+    while frontier:
+        next_frontier = []
+        for node in frontier:
+            for successor in sorted(graph[node]):
+                if successor not in component:
+                    continue
+                if successor == start:
+                    cycle = [node]
+                    while parents[cycle[-1]] is not None:
+                        cycle.append(parents[cycle[-1]])
+                    return [start] + list(reversed(cycle))
+                if successor not in parents:
+                    parents[successor] = node
+                    next_frontier.append(successor)
+        frontier = next_frontier
+    return sorted(component)  # unreachable for a true SCC; defensive
+
+
+@project_rule(
+    "REP011",
+    severity="error",
+    description="import cycle among repro.* modules",
+    rationale="cycles make import order load-bearing; break them with an "
+    "interface module or a deliberate function-scope import",
+)
+class ImportCycleRule:
+    def __init__(self, reporter: ProjectReporter) -> None:
+        self.reporter = reporter
+
+    def run(self, index: ProjectIndex) -> None:
+        library = {
+            info.module: info
+            for info in index.library_modules()
+            if info.module.startswith("repro")
+        }
+        nodes = set(library)
+        graph = {
+            module: _edges(info, nodes, index) for module, info in library.items()
+        }
+        for component in _strongly_connected(graph):
+            first = component[0]
+            cycle = _minimal_cycle(first, set(component), graph)
+            line = graph[first].get(cycle[1] if len(cycle) > 1 else first, 1)
+            rendered = " -> ".join(cycle + [first])
+            self.reporter.report(
+                library[first].path,
+                line or 1,
+                f"import cycle: {rendered}; break it with an interface module "
+                "or a function-scope import at the least-hot edge",
+                symbol=rendered,
+            )

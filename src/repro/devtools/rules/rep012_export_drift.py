@@ -1,0 +1,61 @@
+"""REP012: ``__all__`` must match the module's actual public surface.
+
+The repo's convention (since PR 1) is an explicit ``__all__`` per library
+module; it is what ``from repro.x import *`` honours, what the API docs
+enumerate, and what downstream sessions treat as stable.  Two drift
+modes, both invisible per-file conventions reviews keep missing:
+
+* a name listed in ``__all__`` that the module never defines or imports
+  (usually a leftover from a rename) — an ``ImportError`` waiting inside
+  every ``import *`` and a lie in the docs;
+* a public (non-underscore) top-level symbol missing from the declared
+  ``__all__`` — accidental API, reachable but unlisted.
+
+Only modules that *declare* a literal ``__all__`` are checked (declaring
+one is the opt-in); dynamically-built ``__all__`` (``+=`` etc.) is
+skipped as unresolvable.  Dunder module metadata (``__version__``) is
+not required to be exported.
+"""
+
+from __future__ import annotations
+
+from ..engine import ProjectReporter, project_rule
+from ..index import ProjectIndex
+
+
+@project_rule(
+    "REP012",
+    severity="warning",
+    description="__all__ drift: exported name undefined, or public symbol "
+    "missing from a declared __all__",
+    rationale="__all__ is the module's stable surface; drift breaks "
+    "import * and silently widens or misstates the API",
+)
+class ExportDriftRule:
+    def __init__(self, reporter: ProjectReporter) -> None:
+        self.reporter = reporter
+
+    def run(self, index: ProjectIndex) -> None:
+        for info in index.library_modules():
+            if info.exports is None or not info.exports_resolved:
+                continue
+            declared = set(info.exports)
+            defined = set(info.definitions) | set(info.import_bindings)
+            for name in sorted(declared - defined):
+                self.reporter.report(
+                    info.path,
+                    info.exports_line or 1,
+                    f"__all__ lists '{name}' but the module neither defines "
+                    "nor imports it",
+                    symbol=f"__all__:{name}",
+                )
+            for name, line in sorted(info.definitions.items()):
+                if name.startswith("_") or name in declared:
+                    continue
+                self.reporter.report(
+                    info.path,
+                    line,
+                    f"public symbol '{name}' is missing from __all__; export "
+                    "it or rename it with a leading underscore",
+                    symbol=name,
+                )

@@ -1,0 +1,52 @@
+"""REP013: private functions nobody calls are dead code.
+
+A ``_name`` function or method is by convention internal to the project,
+so "no reference anywhere in the whole tree" is decidable — and nine PRs
+of refactors (engine rewrites in PR 7, the runner split in PR 8, the
+shard ingestion rework in PR 9) each stranded helpers whose callers
+moved on.  Dead private code still costs review attention and keeps
+bit-rotting signatures alive.
+
+References are collected project-wide from the index: any ``Name`` load,
+any attribute access (``self._helper()``), and any identifier-shaped
+string literal (``getattr``/dispatch-table indirection) count, and tests
+count as references — a helper only a test exercises is *reachable*, not
+dead.  Dunder names, the bare ``_`` throwaway, and ``__init__``-style
+methods are out of scope.
+"""
+
+from __future__ import annotations
+
+from ..engine import ProjectReporter, project_rule
+from ..index import ProjectIndex
+
+
+@project_rule(
+    "REP013",
+    severity="warning",
+    description="private function/method never referenced anywhere in the "
+    "project (tests included)",
+    rationale="stranded helpers from refactors keep dead signatures alive; "
+    "delete them or wire them back in",
+)
+class DeadPrivateRule:
+    def __init__(self, reporter: ProjectReporter) -> None:
+        self.reporter = reporter
+
+    def run(self, index: ProjectIndex) -> None:
+        referenced = index.all_references()
+        for info in index.library_modules():
+            for function in info.functions:
+                name = function.name
+                if not name.startswith("_") or name.startswith("__") or name == "_":
+                    continue
+                if name in referenced:
+                    continue
+                kind = "method" if function.is_method else "function"
+                self.reporter.report(
+                    info.path,
+                    function.line,
+                    f"private {kind} '{function.qualname}' is never referenced "
+                    "anywhere in the project; delete it or call it",
+                    symbol=function.qualname,
+                )

@@ -1,0 +1,115 @@
+"""REP014: registry names must be wired through the CLI and tested.
+
+The partitioner and algorithm registries are the project's extension
+points: a name registered in ``partitioning/registry.py`` or
+``algorithms/registry.py`` is a public knob.  PR 6's serve daemon and the
+benchmark harness both resolve these names via the CLI surface, so a
+registered-but-unreachable name is a silent dead knob, and an untested
+one is a knob nobody notices breaking.  Per registered name this rule
+requires, reading only the :class:`~repro.devtools.index.ProjectIndex`:
+
+* **CLI leg** — the name appears in ``repro/cli.py`` either literally
+  (a ``choices=[...]`` entry) or via the registry's dynamic accessors
+  (``canonical_partitioner_name`` and friends), which expose every
+  registered name at once; skipped when no ``cli.py`` is in the tree
+  (fixture projects).
+* **test leg** — some test mentions the name as a string literal
+  (case-insensitive: CLI names are matched case-insensitively too).
+
+Findings anchor at the registry collection so the fix-or-suppress
+decision lands where the name was registered.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..engine import ProjectReporter, project_rule
+from ..index import ModuleInfo, ProjectIndex
+
+#: registry path suffix -> (collection names, dynamic CLI accessors, kind)
+_REGISTRIES: Tuple[Tuple[str, Tuple[str, ...], frozenset, str], ...] = (
+    (
+        "partitioning/registry.py",
+        ("_FACTORIES", "PAPER_PARTITIONER_NAMES", "EXTENSION_PARTITIONER_NAMES"),
+        frozenset(
+            {
+                "available_partitioners",
+                "canonical_partitioner_name",
+                "make_partitioner",
+                "PAPER_PARTITIONER_NAMES",
+                "EXTENSION_PARTITIONER_NAMES",
+            }
+        ),
+        "partitioner",
+    ),
+    (
+        "algorithms/registry.py",
+        ("ALGORITHM_NAMES",),
+        frozenset({"ALGORITHM_NAMES", "canonical_algorithm_name", "make_algorithm"}),
+        "algorithm",
+    ),
+)
+
+
+def _registered_names(
+    info: ModuleInfo, collections: Tuple[str, ...]
+) -> Dict[str, int]:
+    names: Dict[str, int] = {}
+    for collection in collections:
+        entry = info.literal_collections.get(collection)
+        if entry is None:
+            continue
+        values, line = entry
+        for value in values:
+            names.setdefault(value, line)
+    return names
+
+
+def _cli_module(index: ProjectIndex) -> Optional[ModuleInfo]:
+    for info in index.library_modules():
+        if info.path.endswith("repro/cli.py"):
+            return info
+    return None
+
+
+@project_rule(
+    "REP014",
+    severity="warning",
+    description="registered partitioner/algorithm name missing from the CLI "
+    "surface or untested",
+    rationale="a registered name outside the CLI is a dead knob; an untested "
+    "one is a knob nobody notices breaking",
+)
+class RegistryCoherenceRule:
+    def __init__(self, reporter: ProjectReporter) -> None:
+        self.reporter = reporter
+
+    def run(self, index: ProjectIndex) -> None:
+        cli = _cli_module(index)
+        cli_literals = (
+            frozenset(literal.lower() for literal in cli.string_literals)
+            if cli is not None
+            else frozenset()
+        )
+        test_literals = index.test_string_literals()
+        for suffix, collections, accessors, kind in _REGISTRIES:
+            for info in index.modules_matching(suffix):
+                if info.is_test:
+                    continue
+                dynamic_cli = cli is not None and bool(cli.references & accessors)
+                for name, line in sorted(_registered_names(info, collections).items()):
+                    problems = []
+                    if cli is not None and not dynamic_cli and name.lower() not in cli_literals:
+                        problems.append("not reachable from the CLI")
+                    if name.lower() not in test_literals:
+                        problems.append("has no test referencing it")
+                    if not problems:
+                        continue
+                    self.reporter.report(
+                        info.path,
+                        line,
+                        f"registered {kind} '{name}' " + " and ".join(problems)
+                        + "; wire it into the CLI choices and cover it with a test",
+                        symbol=f"{kind}:{name}",
+                    )

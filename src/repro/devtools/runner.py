@@ -15,15 +15,16 @@ from typing import Dict, List, Optional, Sequence
 from ..errors import StaticCheckError
 from ..metrics.report import format_table
 from .engine import (
+    CheckReport,
     Finding,
+    analyze,
     apply_baseline,
-    check_paths,
     load_baseline,
     select_rules,
     write_baseline,
 )
 
-__all__ = ["run_check", "default_check_paths", "list_rules_rows"]
+__all__ = ["DEFAULT_CHECK_DIRS", "run_check", "default_check_paths", "list_rules_rows"]
 
 #: Directories checked when no paths are given, in walk order.
 DEFAULT_CHECK_DIRS = ("src", "tests", "benchmarks", "examples")
@@ -49,30 +50,65 @@ def list_rules_rows() -> List[Dict[str, object]]:
         {
             "rule": meta.rule_id,
             "severity": meta.severity,
+            "scope": meta.scope,
             "description": meta.description,
         }
         for meta in all_rules().values()
     ]
 
 
+def _statistics(report: CheckReport, findings: Sequence[Finding]) -> Dict[str, object]:
+    """The ``--statistics`` payload: per-rule counts plus wall-clock split."""
+    per_rule: Dict[str, Dict[str, object]] = {}
+    for rule_id in report.rule_ids:
+        paths = {f.path for f in findings if f.rule == rule_id}
+        count = sum(1 for f in findings if f.rule == rule_id)
+        per_rule[rule_id] = {"findings": count, "files": len(paths)}
+    return {
+        "per_rule": per_rule,
+        "parse_seconds": round(report.parse_seconds, 6),
+        "analysis_seconds": round(report.analysis_seconds, 6),
+    }
+
+
 def _json_document(
     new: Sequence[Finding],
     *,
-    files_checked: int,
-    rule_ids: Sequence[str],
+    report: CheckReport,
     baselined: int,
     stale: Sequence[str],
     exit_code: int,
+    statistics: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
-    return {
+    document: Dict[str, object] = {
         "version": 1,
-        "files_checked": files_checked,
-        "rules": list(rule_ids),
+        "files_checked": report.files_checked,
+        "files_cached": report.files_cached,
+        "files_analyzed": report.files_analyzed,
+        "jobs": report.jobs,
+        "rules": list(report.rule_ids),
         "findings": [finding.as_dict() for finding in new],
         "baselined": baselined,
         "stale_baseline": list(stale),
         "exit_code": exit_code,
     }
+    if statistics is not None:
+        document["statistics"] = statistics
+    return document
+
+
+def _print_statistics(statistics: Dict[str, object]) -> None:
+    rows = [
+        {"rule": rule_id, **counts}
+        for rule_id, counts in statistics["per_rule"].items()  # type: ignore[union-attr]
+    ]
+    print(format_table(rows))
+    print(
+        "repro check: parse {parse:.3f}s, analysis {analysis:.3f}s".format(
+            parse=statistics["parse_seconds"],  # type: ignore[str-format]
+            analysis=statistics["analysis_seconds"],  # type: ignore[str-format]
+        )
+    )
 
 
 def run_check(args) -> int:
@@ -88,7 +124,14 @@ def run_check(args) -> int:
 
     selected = select_rules(args.rule)
     paths = [Path(p) for p in args.paths] if args.paths else default_check_paths()
-    findings, files_checked = check_paths(paths, rules=selected)
+    store = None
+    if getattr(args, "cache_dir", None):
+        from ..session.store import ArtifactStore
+
+        store = ArtifactStore(args.cache_dir)
+    jobs = int(getattr(args, "jobs", 1) or 1)
+    report = analyze(paths, rules=selected, jobs=jobs, store=store)
+    findings = report.findings
 
     baseline_path = Path(args.baseline) if args.baseline else None
     if args.write_baseline:
@@ -109,13 +152,14 @@ def run_check(args) -> int:
         new, baselined, stale = apply_baseline(findings, baseline)
 
     exit_code = 1 if new else 0
+    statistics = _statistics(report, findings) if getattr(args, "statistics", False) else None
     document = _json_document(
         new,
-        files_checked=files_checked,
-        rule_ids=list(selected),
+        report=report,
         baselined=baselined,
         stale=stale,
         exit_code=exit_code,
+        statistics=statistics,
     )
     if args.format == "json":
         print(json.dumps(document, indent=2))
@@ -124,9 +168,15 @@ def run_check(args) -> int:
             print(str(finding))
         summary = (
             f"repro check: {len(new)} new finding(s), {baselined} baselined, "
-            f"{files_checked} file(s), {len(selected)} rule(s)"
+            f"{report.files_checked} file(s), {len(report.rule_ids)} rule(s)"
         )
+        if report.files_cached:
+            summary += (
+                f", {report.files_cached} cached / {report.files_analyzed} analyzed"
+            )
         print(summary)
+        if statistics is not None:
+            _print_statistics(statistics)
         for fingerprint in stale:
             print(
                 f"repro check: stale baseline entry (already fixed): {fingerprint}",

@@ -36,7 +36,14 @@ from .messaging import (
 )
 from .partitioned_graph import PartitionedGraph
 
-__all__ = ["PregelResult", "pregel", "aggregate_messages"]
+__all__ = [
+    "MergeMessage",
+    "PregelResult",
+    "SendMessage",
+    "VertexProgram",
+    "pregel",
+    "aggregate_messages",
+]
 
 VertexProgram = Callable[[int, Any, Any], Any]
 SendMessage = Callable[[int, Any, int, Any], Iterable[Tuple[int, Any]]]

@@ -20,6 +20,7 @@ from typing import Iterator, List, Optional, Tuple, Union
 import numpy as np
 
 from ..core.graph import Graph
+from ..core.io import PathLike
 from ..errors import GraphIOError
 
 __all__ = [
@@ -31,7 +32,6 @@ __all__ = [
     "materialize",
 ]
 
-PathLike = Union[str, "os.PathLike[str]"]
 
 #: Default edges per chunk.  At 16 bytes per edge pair this is ~4 MiB of
 #: edge data per chunk — small enough that a handful of working arrays per

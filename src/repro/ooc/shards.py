@@ -44,7 +44,12 @@ from ..partitioning.membership import VertexMembership, _unique_pairs
 from ..session.store import STORE_FORMAT_VERSION, ArtifactStore
 from .chunks import EdgeChunkSource
 
-__all__ = ["PartitionShardWriter", "partition_member_name", "write_shards"]
+__all__ = [
+    "FINALIZE_BLOCK_EDGES",
+    "PartitionShardWriter",
+    "partition_member_name",
+    "write_shards",
+]
 
 #: Edges per block when finalisation streams a spill file back in; each
 #: block is ``16 * FINALIZE_BLOCK_EDGES`` bytes of resident memory.

@@ -31,7 +31,12 @@ import numpy as np
 
 from .hashing import mix64
 
-__all__ = ["VertexMembership", "master_partition_array", "segment_arange"]
+__all__ = [
+    "MASTER_SALT",
+    "VertexMembership",
+    "master_partition_array",
+    "segment_arange",
+]
 
 #: Salt applied before hashing so the vertex-master placement is independent
 #: of the hash values the edge partitioners use (GraphX partitions the

@@ -43,7 +43,7 @@ from .protocol import (
 from .service import GraphService
 from .telemetry import ServerTelemetry
 
-__all__ = ["Router"]
+__all__ = ["Handler", "Router"]
 
 Handler = Callable[[Dict[str, str]], Awaitable[Dict[str, object]]]
 

@@ -27,7 +27,13 @@ from .protocol import error_payload, render_response
 from .router import Router
 from .service import GraphService
 
-__all__ = ["GraphQueryServer", "serve_forever"]
+__all__ = [
+    "GraphQueryServer",
+    "IDLE_TIMEOUT_SECONDS",
+    "MAX_BODY_BYTES",
+    "MAX_LINE_BYTES",
+    "serve_forever",
+]
 
 #: Seconds an idle keep-alive connection may sit before the server closes it.
 IDLE_TIMEOUT_SECONDS = 120.0

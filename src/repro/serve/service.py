@@ -30,7 +30,7 @@ from ..session.session import Session
 from .cache import QueryCache
 from .protocol import ServeError
 
-__all__ = ["GraphService"]
+__all__ = ["GraphService", "SSSP_KIND"]
 
 #: Queries whose per-source exact-distance maps land in the query cache.
 SSSP_KIND = "sssp-exact"

@@ -54,7 +54,8 @@ from .resultset import ResultSet
 from .session import Session, _KeyedCache
 from .store import ArtifactStore
 
-__all__ = ["METRICS_ONLY", "PlannedRun", "PlanPreview", "ExperimentPlan"]
+__all__ = [
+    "EXECUTORS","METRICS_ONLY", "PlannedRun", "PlanPreview", "ExperimentPlan"]
 
 #: ``RunRecord.algorithm`` marker of metrics-only cells (no execution).
 METRICS_ONLY = "METRICS"

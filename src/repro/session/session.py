@@ -44,7 +44,7 @@ from .store import ArtifactStore, as_store
 
 __all__ = ["CacheStats", "Session"]
 
-T = TypeVar("T")
+_T = TypeVar("_T")
 
 
 class _KeyedCache:
@@ -62,7 +62,7 @@ class _KeyedCache:
         self.hits = 0
         self.misses = 0
 
-    def get(self, key: Hashable, build: Callable[[], T]) -> T:
+    def get(self, key: Hashable, build: Callable[[], _T]) -> _T:
         with self._master:
             if key in self._values:
                 self.hits += 1

@@ -1,0 +1,280 @@
+"""CFG construction and the forward dataflow fixpoint, hand-checked.
+
+The torture module at the bottom exercises nested try/finally,
+with-statements, early returns, raises and loops through the *real*
+REP010 liveness analysis; every expected finding (and non-finding) was
+worked out on paper against the explicit-flow CFG contract.
+"""
+
+import ast
+import textwrap
+
+from repro.devtools.cfg import Synthetic, WithEnter, build_cfg
+from repro.devtools.dataflow import GenKillAnalysis, solve_forward
+from repro.devtools.engine import check_source, select_rules
+
+TORTURE_PATH = "src/repro/engine/torture.py"
+
+
+def cfg_of(source):
+    tree = ast.parse(textwrap.dedent(source))
+    return build_cfg(tree.body[0])
+
+
+class AssignedNames(GenKillAnalysis):
+    """May-analysis: names that may have been bound on some path."""
+
+    def gen(self, statement, facts):
+        if isinstance(statement, ast.Assign):
+            return frozenset(
+                t.id for t in statement.targets if isinstance(t, ast.Name)
+            )
+        if isinstance(statement, Synthetic) and isinstance(statement.bind, ast.Name):
+            return frozenset([statement.bind.id])
+        if isinstance(statement, WithEnter) and isinstance(
+            statement.item.optional_vars, ast.Name
+        ):
+            return frozenset([statement.item.optional_vars.id])
+        return frozenset()
+
+
+def names_at_exit(source):
+    cfg = cfg_of(source)
+    return set(solve_forward(cfg, AssignedNames()).at_exit(cfg))
+
+
+class TestCfgShape:
+    def test_straight_line_is_one_block_into_exit(self):
+        cfg = cfg_of(
+            """
+            def f():
+                a = 1
+                b = 2
+                return b
+            """
+        )
+        entry = cfg.blocks[cfg.entry]
+        assert len(entry.statements) == 3
+        assert entry.successors == {cfg.exit}
+        assert cfg.blocks[cfg.exit].statements == []
+
+    def test_statements_after_return_are_unreachable(self):
+        cfg = cfg_of(
+            """
+            def f():
+                return 1
+                a = 2
+            """
+        )
+        placed = [
+            s
+            for block in cfg.blocks.values()
+            for s in block.statements
+            if isinstance(s, ast.Assign)
+        ]
+        assert placed == []
+
+    def test_if_without_else_falls_through(self):
+        cfg = cfg_of(
+            """
+            def f(cond):
+                if cond:
+                    a = 1
+                b = 2
+            """
+        )
+        entry = cfg.blocks[cfg.entry]
+        # The condition splits: one successor is the then-branch, and the
+        # entry block itself reaches the join directly (no else).
+        assert len(entry.successors) == 2
+
+    def test_while_has_a_back_edge(self):
+        cfg = cfg_of(
+            """
+            def f(n):
+                while n:
+                    n = n - 1
+                return n
+            """
+        )
+        headers = [
+            block.block_id
+            for block in cfg.blocks.values()
+            if any(isinstance(s, Synthetic) for s in block.statements)
+        ]
+        assert len(headers) == 1
+        header = headers[0]
+        back_edges = [
+            block.block_id
+            for block in cfg.blocks.values()
+            if header in block.successors and block.block_id != cfg.entry
+        ]
+        assert back_edges, "loop body must edge back to the header"
+
+    def test_handler_entry_is_reached_from_the_pre_try_block(self):
+        cfg = cfg_of(
+            """
+            def f(path):
+                before = 1
+                try:
+                    body = 2
+                except OSError:
+                    handled = 3
+                return before
+            """
+        )
+        pre_try = cfg.entry  # `before = 1` shares the entry block
+        handler_blocks = {
+            block.block_id
+            for block in cfg.blocks.values()
+            if any(
+                isinstance(s, ast.Assign)
+                and isinstance(s.targets[0], ast.Name)
+                and s.targets[0].id == "handled"
+                for s in block.statements
+            )
+        }
+        assert handler_blocks
+        reachable = cfg.blocks[pre_try].successors
+        assert handler_blocks & reachable, (
+            "handler must be entered with the facts held at try entry"
+        )
+
+
+class TestDataflow:
+    def test_union_join_sees_both_branches(self):
+        assert names_at_exit(
+            """
+            def f(cond):
+                if cond:
+                    a = 1
+                else:
+                    b = 2
+            """
+        ) == {"a", "b"}
+
+    def test_early_return_facts_reach_exit(self):
+        # `b` is only bound on the fall-through path, `a` on both.
+        assert names_at_exit(
+            """
+            def f(cond):
+                a = 1
+                if cond:
+                    return a
+                b = 2
+                return b
+            """
+        ) == {"a", "b"}
+
+    def test_loop_bindings_survive_the_back_edge(self):
+        assert names_at_exit(
+            """
+            def f(items):
+                total = 0
+                for item in items:
+                    total = item
+                return total
+            """
+        ) == {"total", "item"}
+
+    def test_with_binding_is_seen_once(self):
+        assert names_at_exit(
+            """
+            def f(path):
+                with open(path) as handle:
+                    data = handle.read()
+                return data
+            """
+        ) == {"handle", "data"}
+
+    def test_return_routes_through_finally(self):
+        # `flag` is set in the finally, so it must be live at exit even
+        # though the only return precedes it lexically.
+        assert "flag" in names_at_exit(
+            """
+            def f(path):
+                try:
+                    return path
+                finally:
+                    flag = 1
+            """
+        )
+
+
+#: Hand-checked torture module.  Expected REP010 findings, in order:
+#:   leaks_on_early_return  -> `handle` live on the `return None` path
+#:   leak_through_loop      -> `continue` can exit the loop without close
+#:   raise_after_acquire    -> the raise path never reaches close
+#: and *no* findings for closed_in_finally / with_block / nested_finally.
+TORTURE = textwrap.dedent(
+    """
+    def leaks_on_early_return(path, cond):
+        handle = open(path)
+        if cond:
+            return None
+        handle.close()
+        return 1
+
+
+    def closed_in_finally(path, cond):
+        handle = open(path)
+        try:
+            if cond:
+                return None
+            return handle.read()
+        finally:
+            handle.close()
+
+
+    def with_block(path):
+        with open(path) as handle:
+            return handle.read()
+
+
+    def leak_through_loop(paths):
+        for path in paths:
+            handle = open(path)
+            if handle.readable():
+                continue
+            handle.close()
+        return None
+
+
+    def raise_after_acquire(path, cond):
+        handle = open(path)
+        if cond:
+            raise ValueError(path)
+        handle.close()
+        return None
+
+
+    def nested_finally(path, other):
+        outer = open(path)
+        try:
+            inner = open(other)
+            try:
+                return inner.read()
+            finally:
+                inner.close()
+        finally:
+            outer.close()
+    """
+)
+
+
+class TestTortureModule:
+    def test_hand_checked_findings(self):
+        findings = check_source(
+            TORTURE, path=TORTURE_PATH, rules=select_rules(["REP010"])
+        )
+        flagged = [f.snippet for f in findings]
+        assert flagged == [
+            "handle = open(path)",
+            "handle = open(path)",
+            "handle = open(path)",
+        ]
+        messages = " ".join(f.message for f in findings)
+        for function in ("leaks_on_early_return", "leak_through_loop", "raise_after_acquire"):
+            assert function in messages
+        for function in ("closed_in_finally", "with_block", "nested_finally"):
+            assert function not in messages

@@ -1,12 +1,14 @@
 """Engine mechanics: noqa suppression, baseline, walker, rule selection."""
 
 import json
+from pathlib import Path
 
 import pytest
 
 from repro.devtools import check_source, load_baseline, write_baseline
 from repro.devtools.engine import (
     all_rules,
+    analyze,
     apply_baseline,
     check_paths,
     iter_python_files,
@@ -18,12 +20,19 @@ VIOLATION = "def f(x: int = None):\n    return x\n"
 
 
 class TestRegistry:
-    def test_all_nine_rules_register(self):
+    def test_all_fourteen_rules_register(self):
         registry = all_rules()
-        assert sorted(registry) == [f"REP00{i}" for i in range(1, 10)]
+        expected = [f"REP{i:03d}" for i in range(1, 15)]
+        assert sorted(registry) == expected
         for meta in registry.values():
             assert meta.description
             assert meta.severity in ("error", "warning")
+            assert meta.scope in ("file", "project")
+
+    def test_project_rules_have_project_scope(self):
+        registry = all_rules()
+        project_scoped = {rid for rid, meta in registry.items() if meta.scope == "project"}
+        assert project_scoped == {"REP011", "REP012", "REP013", "REP014"}
 
     def test_select_rules_is_case_insensitive(self):
         assert list(select_rules(["rep001", "REP004"])) == ["REP001", "REP004"]
@@ -60,6 +69,30 @@ class TestNoqa:
 
     def test_comma_separated_noqa_ids(self):
         source = "def f(x: int = None):  # repro: noqa[REP002, REP001]\n    return x\n"
+        assert check_source(source) == []
+
+    def test_noqa_inside_a_string_literal_does_not_suppress(self):
+        # The marker here is *data* on the violation's own line; only a
+        # real COMMENT token may suppress (tokenize-based, not regex).
+        source = (
+            'def f(x: int = None, tag: str = "# repro: noqa[REP001]"):\n'
+            "    return x, tag\n"
+        )
+        assert [f.rule for f in check_source(source)] == ["REP001"]
+
+    def test_noqa_in_docstring_does_not_suppress_nearby_lines(self):
+        source = (
+            "def f(x: int = None):\n"
+            '    """Suppress with  # repro: noqa  on the line."""\n'
+            "    return x\n"
+        )
+        assert [f.rule for f in check_source(source)] == ["REP001"]
+
+    def test_real_comment_after_string_still_suppresses(self):
+        source = (
+            'def f(x: str = "# repro: noqa[REP999]"):  # repro: noqa[REP001]\n'
+            "    return x\n"
+        )
         assert check_source(source) == []
 
 
@@ -146,3 +179,43 @@ class TestWalker:
         findings, files_checked = check_paths([tmp_path])
         assert files_checked == 2
         assert [f.rule for f in findings] == ["REP001"]
+
+    def test_explicit_file_argument_respects_skip_dirs(self, tmp_path):
+        hidden = tmp_path / "__pycache__" / "a.py"
+        hidden.parent.mkdir()
+        hidden.write_text(VIOLATION)
+        assert list(iter_python_files([hidden], root=tmp_path)) == []
+
+    def test_dir_plus_file_inside_it_reports_once(self, tmp_path):
+        target = tmp_path / "pkg"
+        target.mkdir()
+        dirty = target / "dirty.py"
+        dirty.write_text(VIOLATION)
+        files = list(iter_python_files([tmp_path, dirty], root=tmp_path))
+        assert files == [dirty.resolve()]
+        findings, files_checked = check_paths([tmp_path, dirty])
+        assert files_checked == 1
+        assert len(findings) == 1
+
+    def test_same_file_via_absolute_and_relative_paths_reports_once(
+        self, tmp_path, monkeypatch
+    ):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(VIOLATION)
+        monkeypatch.chdir(tmp_path)
+        files = list(iter_python_files([Path("dirty.py"), dirty]))
+        assert files == [dirty.resolve()]
+
+    def test_fingerprints_are_root_relative(self, tmp_path, monkeypatch):
+        target = tmp_path / "src" / "repro" / "pkg"
+        target.mkdir(parents=True)
+        dirty = target / "dirty.py"
+        dirty.write_text(VIOLATION)
+        monkeypatch.chdir(tmp_path)
+        via_absolute = analyze([dirty]).findings
+        via_relative = analyze([Path("src") / "repro" / "pkg" / "dirty.py"]).findings
+        assert via_absolute and via_relative
+        assert [f.path for f in via_absolute] == ["src/repro/pkg/dirty.py"]
+        assert [f.fingerprint() for f in via_absolute] == [
+            f.fingerprint() for f in via_relative
+        ]

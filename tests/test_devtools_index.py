@@ -1,0 +1,176 @@
+"""Pass-1 index: ModuleInfo extraction, JSON round-trip, ProjectIndex lookups."""
+
+import ast
+import json
+import textwrap
+
+from repro.devtools.index import (
+    ModuleInfo,
+    ProjectIndex,
+    build_module_info,
+    module_name_for,
+    noqa_lines,
+)
+
+RICH_SOURCE = textwrap.dedent(
+    '''
+    """Module docstring."""
+
+    from typing import TYPE_CHECKING
+
+    from ..core.io import atomic_write_bytes
+    from .helpers import unpack
+
+    if TYPE_CHECKING:
+        from ..core.graph import Graph
+
+    __all__ = ["CHUNK", "process"]
+
+    CHUNK = 64
+    KINDS = {"alpha": 1, "beta": 2}
+    NAMES = ["PR", "CC"]
+
+
+    def process(graph):
+        from ..session.store import ArtifactStore
+
+        return ArtifactStore(graph.root).info()
+
+
+    def _helper(x):
+        return unpack(x)
+
+
+    class Codec:
+        def encode(self, value):
+            return atomic_write_bytes(value, b"payload-kind")
+    '''
+)
+
+RICH_PATH = "src/repro/engine/rich.py"
+
+
+def info_for(source, path=RICH_PATH):
+    return build_module_info(ast.parse(source), source, path)
+
+
+class TestModuleNameFor:
+    def test_src_layout_strips_the_anchor(self):
+        assert module_name_for("src/repro/engine/parallel.py") == "repro.engine.parallel"
+
+    def test_tests_keep_their_anchor(self):
+        assert module_name_for("tests/test_cli.py") == "tests.test_cli"
+
+    def test_init_names_the_package(self):
+        assert module_name_for("src/repro/engine/__init__.py") == "repro.engine"
+
+    def test_bare_repro_path(self):
+        assert module_name_for("repro/cli.py") == "repro.cli"
+
+
+class TestBuildModuleInfo:
+    def test_definitions_and_import_bindings(self):
+        info = info_for(RICH_SOURCE)
+        assert info.module == "repro.engine.rich"
+        assert not info.is_test
+        for name in ("CHUNK", "KINDS", "NAMES", "process", "_helper", "Codec"):
+            assert name in info.definitions
+        assert "atomic_write_bytes" in info.import_bindings
+        assert "unpack" in info.import_bindings
+
+    def test_relative_imports_resolve_against_the_module(self):
+        info = info_for(RICH_SOURCE)
+        targets = {record.module for record in info.imports}
+        assert "repro.core.io" in targets
+        assert "repro.engine.helpers" in targets
+
+    def test_type_checking_imports_are_marked(self):
+        info = info_for(RICH_SOURCE)
+        typed = [r for r in info.imports if r.typing_only]
+        assert [r.module for r in typed] == ["repro.core.graph"]
+
+    def test_function_scope_imports_are_not_toplevel(self):
+        info = info_for(RICH_SOURCE)
+        lazy = [r for r in info.imports if r.scope == "function"]
+        assert [r.module for r in lazy] == ["repro.session.store"]
+
+    def test_exports_and_literal_collections(self):
+        info = info_for(RICH_SOURCE)
+        assert info.exports == ("CHUNK", "process")
+        assert info.exports_resolved
+        assert info.literal_collections["KINDS"][0] == ("alpha", "beta")
+        assert info.literal_collections["NAMES"][0] == ("PR", "CC")
+        assert "__all__" not in info.literal_collections
+
+    def test_dynamic_all_is_unresolved(self):
+        info = info_for('__all__ = ["a"]\n__all__ += ["b"]\n')
+        assert not info.exports_resolved
+
+    def test_functions_carry_qualnames_and_method_flag(self):
+        info = info_for(RICH_SOURCE)
+        records = {record.qualname: record for record in info.functions}
+        assert set(records) == {"process", "_helper", "Codec.encode"}
+        assert records["Codec.encode"].is_method
+        assert not records["process"].is_method
+
+    def test_references_cover_names_attributes_and_strings(self):
+        info = info_for(RICH_SOURCE)
+        assert "unpack" in info.references
+        assert "info" in info.references  # attribute use
+        assert "alpha" in info.string_literals
+        assert "Module docstring." in info.string_literals
+
+    def test_long_strings_are_not_indexed(self):
+        info = info_for(f's = "{"x" * 80}"\n')
+        assert info.string_literals == frozenset()
+
+    def test_json_round_trip_is_lossless(self):
+        info = info_for(RICH_SOURCE)
+        restored = ModuleInfo.from_dict(json.loads(json.dumps(info.as_dict())))
+        assert restored == info
+
+
+class TestNoqaLines:
+    def test_comment_tokens_only(self):
+        source = 'x = "# repro: noqa"  # repro: noqa[REP001]\n'
+        assert noqa_lines(source) == {1: frozenset({"REP001"})}
+
+    def test_unparseable_source_falls_back_to_line_scan(self):
+        source = "def broken(:\n    x = 1  # repro: noqa\n"
+        assert noqa_lines(source) == {2: None}
+
+
+class TestProjectIndex:
+    SOURCES = {
+        "src/repro/pkg/__init__.py": (
+            "from repro.pkg.mod import thing\n\ndoubled = thing + thing\n"
+        ),
+        "src/repro/pkg/mod.py": 'thing = 1\nKIND = "special-name"\n',
+        "tests/test_pkg.py": 'def test_thing():\n    assert "Thing" != "KIND"\n',
+    }
+
+    def test_lookup_by_module_and_matching(self):
+        index = ProjectIndex.from_sources(self.SOURCES)
+        assert index.module_at("repro.pkg.mod").path == "src/repro/pkg/mod.py"
+        assert [m.module for m in index.modules_matching("pkg/mod.py")] == [
+            "repro.pkg.mod"
+        ]
+
+    def test_library_and_test_partitions(self):
+        index = ProjectIndex.from_sources(self.SOURCES)
+        library = {m.module for m in index.library_modules()}
+        tests = {m.module for m in index.test_modules()}
+        assert library == {"repro.pkg", "repro.pkg.mod"}
+        assert tests == {"tests.test_pkg"}
+
+    def test_all_references_include_identifier_like_strings(self):
+        index = ProjectIndex.from_sources(self.SOURCES)
+        references = index.all_references()
+        assert "thing" in references
+        assert "special-name" not in references  # not identifier-like
+
+    def test_test_string_literals_are_lowercased(self):
+        index = ProjectIndex.from_sources(self.SOURCES)
+        literals = index.test_string_literals()
+        assert "thing" in literals
+        assert "kind" in literals

@@ -1,0 +1,107 @@
+"""Execution layer: --jobs equivalence and the content-addressed check cache."""
+
+import pytest
+
+from repro.devtools.engine import (
+    CHECK_ENGINE_VERSION,
+    analyze,
+    ruleset_fingerprint,
+)
+from repro.session.store import ArtifactStore
+
+VIOLATION = "def f(x: int = None):\n    return x\n"
+
+
+@pytest.fixture
+def tree(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "pkg"
+    pkg.mkdir(parents=True)
+    (pkg / "dirty.py").write_text(VIOLATION)
+    for index in range(4):
+        (pkg / f"clean_{index}.py").write_text(f"value_{index} = {index}\n")
+    return tmp_path
+
+
+def _summary(report):
+    return [(f.rule, f.path, f.line) for f in report.findings]
+
+
+class TestParallelEquivalence:
+    def test_parallel_findings_match_serial(self, tree):
+        serial = analyze([tree], root=tree)
+        parallel = analyze([tree], jobs=2, root=tree)
+        assert _summary(parallel) == _summary(serial)
+        assert parallel.files_checked == serial.files_checked == 5
+        assert parallel.jobs == 2
+
+    def test_single_file_stays_serial(self, tree):
+        only = tree / "src" / "repro" / "pkg" / "dirty.py"
+        report = analyze([only], jobs=8, root=tree)
+        assert report.files_checked == 1
+        assert [f.rule for f in report.findings] == ["REP001"]
+
+
+class TestCheckCache:
+    def test_cold_then_warm(self, tree, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        cold = analyze([tree], store=store, root=tree)
+        assert cold.files_cached == 0
+        assert cold.files_analyzed == cold.files_checked == 5
+
+        warm = analyze([tree], store=store, root=tree)
+        assert warm.files_cached == 5
+        assert warm.files_analyzed == 0
+        assert _summary(warm) == _summary(cold)
+        # The CI bar: a warm second invocation is >= 90% cached.
+        assert warm.files_cached / warm.files_checked >= 0.9
+
+    def test_editing_one_file_reanalyzes_only_it(self, tree, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        analyze([tree], store=store, root=tree)
+        edited = tree / "src" / "repro" / "pkg" / "clean_0.py"
+        edited.write_text("value_0 = 999\n")
+        warm = analyze([tree], store=store, root=tree)
+        assert warm.files_analyzed == 1
+        assert warm.files_cached == 4
+
+    def test_cached_findings_round_trip(self, tree, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        cold = analyze([tree], store=store, root=tree)
+        warm = analyze([tree], store=store, root=tree)
+        assert warm.files_cached == 5
+        (cold_finding,) = [f for f in cold.findings if f.rule == "REP001"]
+        (warm_finding,) = [f for f in warm.findings if f.rule == "REP001"]
+        assert warm_finding == cold_finding
+
+    def test_rule_selection_changes_the_cache_key(self, tree, tmp_path):
+        from repro.devtools.engine import select_rules
+
+        store = ArtifactStore(tmp_path / "cache")
+        analyze([tree], store=store, root=tree)
+        narrowed = analyze(
+            [tree], rules=select_rules(["REP001"]), store=store, root=tree
+        )
+        # Different rule set -> different fingerprint -> full re-analysis.
+        assert narrowed.files_cached == 0
+        assert narrowed.files_analyzed == 5
+
+    def test_store_counts_check_artifacts(self, tree, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        analyze([tree], store=store, root=tree)
+        assert store.info().checks == 5
+
+    def test_check_key_is_content_addressed(self, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        key = store.check_key("src/repro/x.py", "a" * 64, "f" * 64, CHECK_ENGINE_VERSION)
+        store.save_check(key, {"module_info": {}, "findings": []})
+        assert store.load_check(key) == {"module_info": {}, "findings": []}
+        other_sha = store.check_key(
+            "src/repro/x.py", "b" * 64, "f" * 64, CHECK_ENGINE_VERSION
+        )
+        assert store.load_check(other_sha) is None
+
+    def test_fingerprint_depends_on_rules_and_engine(self):
+        wide = ruleset_fingerprint(("REP001", "REP002"))
+        narrow = ruleset_fingerprint(("REP001",))
+        assert wide != narrow
+        assert ruleset_fingerprint(("REP002", "REP001")) == wide  # order-free

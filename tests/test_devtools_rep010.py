@@ -1,0 +1,208 @@
+"""REP010 fixtures: resource lifecycle over the per-function CFG."""
+
+import textwrap
+
+from repro.devtools import check_source
+
+
+def _rep010(source, path="src/repro/session/handles.py"):
+    findings = check_source(textwrap.dedent(source), path=path)
+    return [f for f in findings if f.rule == "REP010"]
+
+
+class TestRep010Positives:
+    def test_early_return_skips_close(self):
+        findings = _rep010(
+            """
+            def f(path, cond):
+                handle = open(path)
+                if cond:
+                    return None
+                handle.close()
+                return 1
+            """
+        )
+        assert len(findings) == 1
+        assert "handle" in findings[0].message
+        assert findings[0].snippet == "handle = open(path)"
+
+    def test_fallthrough_never_closes(self):
+        assert len(
+            _rep010(
+                """
+                def f(path):
+                    handle = open(path)
+                    data = handle.read()
+                """
+            )
+        ) == 1
+
+    def test_raise_path_leaks(self):
+        assert len(
+            _rep010(
+                """
+                def f(path, cond):
+                    handle = open(path)
+                    if cond:
+                        raise ValueError(path)
+                    handle.close()
+                """
+            )
+        ) == 1
+
+    def test_shared_memory_attachment_never_closed(self):
+        # segment.buf is a *use* (attribute receiver), not an ownership
+        # transfer, so the attachment leaks at return.
+        assert len(
+            _rep010(
+                """
+                def attach(name):
+                    segment = SharedMemory(name=name)
+                    return bytes(segment.buf)
+                """
+            )
+        ) == 1
+
+    def test_np_load_mmap_mode(self):
+        findings = _rep010(
+            """
+            def f(path, cond):
+                arr = np.load(path, mmap_mode="r")
+                if cond:
+                    return None
+                arr._mmap.close()
+                return arr.shape
+            """
+        )
+        # `arr` is reported: the early return leaks the mmap.  (The
+        # close() call on the attribute chain releases `arr` on the
+        # other path only.)
+        assert len(findings) == 1
+
+    def test_continue_can_exit_the_loop_open(self):
+        assert len(
+            _rep010(
+                """
+                def f(paths):
+                    for path in paths:
+                        handle = open(path)
+                        if handle.readable():
+                            continue
+                        handle.close()
+                """
+            )
+        ) == 1
+
+    def test_method_use_does_not_release(self):
+        # v.read() keeps the fact alive: only release methods kill it.
+        assert len(
+            _rep010(
+                """
+                def f(path):
+                    handle = open(path)
+                    return handle.read()
+                """
+            )
+        ) == 1
+
+
+class TestRep010Negatives:
+    def test_with_block(self):
+        assert _rep010(
+            """
+            def f(path):
+                with open(path) as handle:
+                    return handle.read()
+            """
+        ) == []
+
+    def test_try_finally_close(self):
+        assert _rep010(
+            """
+            def f(path, cond):
+                handle = open(path)
+                try:
+                    if cond:
+                        return None
+                    return handle.read()
+                finally:
+                    handle.close()
+            """
+        ) == []
+
+    def test_close_on_every_branch(self):
+        assert _rep010(
+            """
+            def f(path, cond):
+                handle = open(path)
+                if cond:
+                    handle.close()
+                    return None
+                handle.close()
+                return 1
+            """
+        ) == []
+
+    def test_returning_the_handle_transfers_ownership(self):
+        assert _rep010(
+            """
+            def f(path):
+                handle = open(path)
+                return handle
+            """
+        ) == []
+
+    def test_storing_the_handle_transfers_ownership(self):
+        assert _rep010(
+            """
+            def f(self, path):
+                handle = open(path)
+                self.handles.append(handle)
+            """
+        ) == []
+
+    def test_closing_wrapper_adopts(self):
+        assert _rep010(
+            """
+            def f(path):
+                handle = open(path)
+                with closing(handle):
+                    return handle.read()
+            """
+        ) == []
+
+    def test_shared_memory_closed_and_unlinked(self):
+        assert _rep010(
+            """
+            def f(name):
+                segment = SharedMemory(name=name)
+                payload = bytes(segment.buf)
+                segment.close()
+                return payload
+            """
+        ) == []
+
+    def test_np_load_without_mmap_mode(self):
+        assert _rep010(
+            """
+            def f(path):
+                arr = np.load(path)
+                return arr.sum()
+            """
+        ) == []
+
+    def test_shm_registry_is_exempt(self):
+        source = """
+            def f(path):
+                handle = open(path)
+                return handle.read()
+        """
+        assert _rep010(source, path="src/repro/engine/shm_registry.py") == []
+
+    def test_tests_are_exempt(self):
+        source = """
+            def f(path):
+                handle = open(path)
+                return handle.read()
+        """
+        assert _rep010(source, path="tests/test_handles.py") == []

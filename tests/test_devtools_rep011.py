@@ -1,0 +1,98 @@
+"""REP011 fixtures: import cycles across repro.* modules."""
+
+from repro.devtools import check_project_sources
+
+
+def _rep011(sources):
+    return [f for f in check_project_sources(sources) if f.rule == "REP011"]
+
+
+class TestRep011Positives:
+    def test_two_module_cycle_reports_once(self):
+        findings = _rep011(
+            {
+                "src/repro/a.py": "from repro.b import beta\nalpha = 1\n",
+                "src/repro/b.py": "from repro.a import alpha\nbeta = 2\n",
+            }
+        )
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.path == "src/repro/a.py"  # lexicographically first
+        assert finding.line == 1  # the offending import line
+        assert "repro.a -> repro.b -> repro.a" in finding.message
+
+    def test_three_module_scc_reports_the_minimal_cycle(self):
+        findings = _rep011(
+            {
+                "src/repro/a.py": "import repro.b\nimport repro.c\n",
+                "src/repro/b.py": "import repro.c\n",
+                "src/repro/c.py": "import repro.a\n",
+            }
+        )
+        assert len(findings) == 1
+        # BFS from repro.a finds the 2-hop loop a -> c -> a, not the
+        # 3-hop one through b.
+        assert "repro.a -> repro.c -> repro.a" in findings[0].message
+
+    def test_two_disjoint_cycles_are_two_findings(self):
+        findings = _rep011(
+            {
+                "src/repro/a.py": "import repro.b\n",
+                "src/repro/b.py": "import repro.a\n",
+                "src/repro/x.py": "import repro.y\n",
+                "src/repro/y.py": "import repro.x\n",
+            }
+        )
+        assert len(findings) == 2
+
+    def test_from_package_import_submodule_resolves_the_edge(self):
+        findings = _rep011(
+            {
+                "src/repro/pkg/__init__.py": "",
+                "src/repro/pkg/a.py": "from repro.pkg import b\n",
+                "src/repro/pkg/b.py": "from repro.pkg import a\n",
+            }
+        )
+        assert len(findings) == 1
+
+
+class TestRep011Negatives:
+    def test_acyclic_imports_are_fine(self):
+        assert _rep011(
+            {
+                "src/repro/a.py": "import repro.b\n",
+                "src/repro/b.py": "import repro.c\n",
+                "src/repro/c.py": "c = 1\n",
+            }
+        ) == []
+
+    def test_function_scope_import_breaks_the_cycle(self):
+        assert _rep011(
+            {
+                "src/repro/a.py": "from repro.b import beta\n",
+                "src/repro/b.py": (
+                    "def late():\n    from repro.a import alpha\n    return alpha\n"
+                ),
+            }
+        ) == []
+
+    def test_type_checking_import_breaks_the_cycle(self):
+        assert _rep011(
+            {
+                "src/repro/a.py": "from repro.b import beta\n",
+                "src/repro/b.py": (
+                    "from typing import TYPE_CHECKING\n"
+                    "if TYPE_CHECKING:\n"
+                    "    from repro.a import alpha\n"
+                ),
+            }
+        ) == []
+
+    def test_cycles_through_test_modules_do_not_count(self):
+        assert _rep011(
+            {
+                "src/repro/a.py": "a = 1\n",
+                "tests/test_a.py": "import repro.a\nimport tests.test_b\n",
+                "tests/test_b.py": "import tests.test_a\n",
+            }
+        ) == []

@@ -1,0 +1,67 @@
+"""REP012 fixtures: __all__ export drift."""
+
+from repro.devtools import check_project_sources
+
+
+def _rep012(sources):
+    return [f for f in check_project_sources(sources) if f.rule == "REP012"]
+
+
+class TestRep012Positives:
+    def test_all_lists_an_undefined_name(self):
+        findings = _rep012(
+            {"src/repro/mod.py": '__all__ = ["gone"]\n\npresent = 1\n'}
+        )
+        assert len(findings) == 2  # 'gone' undefined + 'present' unexported
+        undefined = [f for f in findings if "gone" in f.message]
+        assert len(undefined) == 1
+        assert undefined[0].line == 1  # anchored at the __all__ literal
+
+    def test_public_symbol_missing_from_all(self):
+        findings = _rep012(
+            {
+                "src/repro/mod.py": (
+                    '__all__ = ["listed"]\n\nlisted = 1\n\n\ndef unlisted():\n    return 2\n'
+                )
+            }
+        )
+        assert len(findings) == 1
+        assert "unlisted" in findings[0].message
+        assert findings[0].line == 6  # anchored at the definition
+
+
+class TestRep012Negatives:
+    def test_exact_all_is_clean(self):
+        assert _rep012(
+            {
+                "src/repro/mod.py": (
+                    '__all__ = ["thing", "Widget"]\n\nthing = 1\n\n\nclass Widget:\n    pass\n'
+                )
+            }
+        ) == []
+
+    def test_no_all_declared_is_not_checked(self):
+        assert _rep012({"src/repro/mod.py": "anything = 1\n"}) == []
+
+    def test_dynamic_all_is_skipped(self):
+        assert _rep012(
+            {"src/repro/mod.py": '__all__ = ["a"]\n__all__ += ["b"]\na = 1\n'}
+        ) == []
+
+    def test_imported_names_count_as_defined(self):
+        assert _rep012(
+            {
+                "src/repro/mod.py": (
+                    'from repro.other import helper\n\n__all__ = ["helper"]\n'
+                ),
+                "src/repro/other.py": '__all__ = ["helper"]\n\n\ndef helper():\n    return 1\n',
+            }
+        ) == []
+
+    def test_private_symbols_need_no_export(self):
+        assert _rep012(
+            {"src/repro/mod.py": '__all__ = ["a"]\na = 1\n_internal = 2\n'}
+        ) == []
+
+    def test_tests_are_exempt(self):
+        assert _rep012({"tests/test_mod.py": '__all__ = ["gone"]\n'}) == []

@@ -1,0 +1,92 @@
+"""REP013 fixtures: dead private functions."""
+
+from repro.devtools import check_project_sources
+
+
+def _rep013(sources):
+    return [f for f in check_project_sources(sources) if f.rule == "REP013"]
+
+
+class TestRep013Positives:
+    def test_unreferenced_private_function(self):
+        findings = _rep013(
+            {"src/repro/mod.py": "def _stranded():\n    return 1\n"}
+        )
+        assert len(findings) == 1
+        assert "_stranded" in findings[0].message
+        assert findings[0].line == 1
+
+    def test_unreferenced_private_method_uses_qualname(self):
+        findings = _rep013(
+            {
+                "src/repro/mod.py": (
+                    "class Engine:\n    def _orphan(self):\n        return 1\n"
+                )
+            }
+        )
+        assert len(findings) == 1
+        assert "Engine._orphan" in findings[0].message
+
+
+class TestRep013Negatives:
+    def test_called_in_the_same_module(self):
+        assert _rep013(
+            {
+                "src/repro/mod.py": (
+                    "def _used():\n    return 1\n\n\ndef public():\n    return _used()\n"
+                )
+            }
+        ) == []
+
+    def test_called_from_another_module(self):
+        assert _rep013(
+            {
+                "src/repro/mod.py": "def _shared():\n    return 1\n",
+                "src/repro/other.py": (
+                    "from repro.mod import _shared\n\nvalue = _shared()\n"
+                ),
+            }
+        ) == []
+
+    def test_a_test_reference_keeps_it_alive(self):
+        assert _rep013(
+            {
+                "src/repro/mod.py": "def _probed():\n    return 1\n",
+                "tests/test_mod.py": (
+                    "from repro.mod import _probed\n\n\ndef test_probe():\n"
+                    "    assert _probed() == 1\n"
+                ),
+            }
+        ) == []
+
+    def test_string_literal_dispatch_counts(self):
+        assert _rep013(
+            {
+                "src/repro/mod.py": (
+                    "def _dispatched():\n    return 1\n\n\n"
+                    'TABLE = {"k": "_dispatched"}\n'
+                )
+            }
+        ) == []
+
+    def test_dunder_and_throwaway_are_out_of_scope(self):
+        assert _rep013(
+            {
+                "src/repro/mod.py": (
+                    "class C:\n"
+                    "    def __enter__(self):\n"
+                    "        return self\n\n\n"
+                    "def _(ignored):\n    return None\n"
+                )
+            }
+        ) == []
+
+    def test_public_functions_are_not_checked(self):
+        assert _rep013(
+            {"src/repro/mod.py": "def nobody_calls_me():\n    return 1\n"}
+        ) == []
+
+    def test_private_helpers_in_tests_are_exempt(self):
+        assert _rep013(
+            {"tests/test_mod.py": "def _fixture_helper():\n    return 1\n"}
+        ) == []

@@ -1,0 +1,83 @@
+"""REP014 fixtures: registry names wired through the CLI and tested."""
+
+from repro.devtools import check_project_sources
+
+REGISTRY = "src/repro/partitioning/registry.py"
+ALGO_REGISTRY = "src/repro/algorithms/registry.py"
+CLI = "src/repro/cli.py"
+
+
+def _rep014(sources):
+    return [f for f in check_project_sources(sources) if f.rule == "REP014"]
+
+
+class TestRep014Positives:
+    def test_untested_name_is_reported(self):
+        findings = _rep014(
+            {
+                REGISTRY: '_FACTORIES = {"XYZ": None}\n',
+                CLI: 'choice = canonical_partitioner_name("xyz")\n',
+            }
+        )
+        assert len(findings) == 1
+        assert "XYZ" in findings[0].message
+        assert "no test" in findings[0].message
+        assert findings[0].path == REGISTRY
+
+    def test_name_missing_from_a_literal_cli_surface(self):
+        findings = _rep014(
+            {
+                REGISTRY: '_FACTORIES = {"RVC": None, "XYZ": None}\n',
+                CLI: 'CHOICES = ["RVC"]\n',
+                "tests/test_reg.py": 'names = ["rvc", "xyz"]\n',
+            }
+        )
+        assert len(findings) == 1
+        assert "XYZ" in findings[0].message
+        assert "CLI" in findings[0].message
+
+    def test_algorithm_registry_is_checked_too(self):
+        findings = _rep014({ALGO_REGISTRY: 'ALGORITHM_NAMES = ["QQ"]\n'})
+        assert len(findings) == 1
+        assert "algorithm 'QQ'" in findings[0].message
+
+
+class TestRep014Negatives:
+    def test_dynamic_cli_accessor_covers_every_name(self):
+        assert _rep014(
+            {
+                REGISTRY: '_FACTORIES = {"RVC": None}\n',
+                CLI: "names = available_partitioners()\n",
+                "tests/test_reg.py": 'assert "RVC"\n',
+            }
+        ) == []
+
+    def test_literal_cli_choice_and_test_reference(self):
+        assert _rep014(
+            {
+                REGISTRY: '_FACTORIES = {"RVC": None}\n',
+                CLI: 'CHOICES = ["RVC"]\n',
+                "tests/test_reg.py": 'assert "rvc" != ""\n',
+            }
+        ) == []
+
+    def test_test_reference_is_case_insensitive(self):
+        assert _rep014(
+            {
+                REGISTRY: '_FACTORIES = {"Greedy": None}\n',
+                CLI: "names = make_partitioner\n",
+                "tests/test_reg.py": 'assert "GREEDY".lower()\n',
+            }
+        ) == []
+
+    def test_cli_leg_is_skipped_without_a_cli_module(self):
+        findings = _rep014(
+            {
+                REGISTRY: '_FACTORIES = {"RVC": None}\n',
+                "tests/test_reg.py": 'assert "rvc"\n',
+            }
+        )
+        assert findings == []
+
+    def test_unrelated_modules_have_no_registries(self):
+        assert _rep014({"src/repro/engine/core.py": 'NAMES = ["x"]\n'}) == []

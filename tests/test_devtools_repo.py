@@ -13,26 +13,52 @@ from repro.devtools.engine import baseline_from_findings
 ROOT = Path(__file__).resolve().parents[1]
 SHIPPED_BASELINE = ROOT / "check-baseline.json"
 
-#: One violation per rule, at a path where the rule applies.
+#: One violation per rule.  Each value is a tuple of (path, source)
+#: pairs because the project rules (REP011+) need more than one file to
+#: misbehave; the *first* pair is always the file the finding lands in.
 SEEDED_VIOLATIONS = {
-    "REP001": ("src/repro/analysis/bad_defaults.py", "def f(x: int = None):\n    return x\n"),
-    "REP002": ("src/repro/engine/bad_fold.py", "outbox[indices] += messages\n"),
-    "REP003": ("src/repro/session/bad_shm.py", "shm = SharedMemory(create=True, size=64)\n"),
+    "REP001": (("src/repro/analysis/bad_defaults.py", "def f(x: int = None):\n    return x\n"),),
+    "REP002": (("src/repro/engine/bad_fold.py", "outbox[indices] += messages\n"),),
+    "REP003": (("src/repro/session/bad_shm.py", "shm = SharedMemory(create=True, size=64)\n"),),
     "REP004": (
-        "src/repro/serve/bad_async.py",
-        "async def handler(request):\n    time.sleep(0.1)\n",
+        (
+            "src/repro/serve/bad_async.py",
+            "async def handler(request):\n    time.sleep(0.1)\n",
+        ),
     ),
-    "REP005": ("src/repro/metrics/bad_shim.py", "parts = assignment.vertex_partitions()\n"),
-    "REP006": ("src/repro/analysis/bad_names.py", 'ok = name == "pr"\n'),
+    "REP005": (("src/repro/metrics/bad_shim.py", "parts = assignment.vertex_partitions()\n"),),
+    "REP006": (("src/repro/analysis/bad_names.py", 'ok = name == "pr"\n'),),
     "REP007": (
-        "src/repro/engine/bad_except.py",
-        "try:\n    route(target)\nexcept KeyError:\n    pass\n",
+        (
+            "src/repro/engine/bad_except.py",
+            "try:\n    route(target)\nexcept KeyError:\n    pass\n",
+        ),
     ),
-    "REP008": ("src/repro/datasets/bad_random.py", "rng = np.random.default_rng()\n"),
+    "REP008": (("src/repro/datasets/bad_random.py", "rng = np.random.default_rng()\n"),),
     "REP009": (
-        "src/repro/ooc/bad_materialize.py",
-        "pairs = list(graph.edge_pairs())\n",
+        (
+            "src/repro/ooc/bad_materialize.py",
+            "pairs = list(graph.edge_pairs())\n",
+        ),
     ),
+    "REP010": (
+        (
+            "src/repro/engine/bad_handle.py",
+            "def f(path, cond):\n"
+            "    handle = open(path)\n"
+            "    if cond:\n"
+            "        return None\n"
+            "    handle.close()\n"
+            "    return 1\n",
+        ),
+    ),
+    "REP011": (
+        ("src/repro/cycle_a.py", "from repro.cycle_b import beta\nalpha = 1\n"),
+        ("src/repro/cycle_b.py", "from repro.cycle_a import alpha\nbeta = 2\n"),
+    ),
+    "REP012": (("src/repro/analysis/bad_exports.py", '__all__ = ["missing"]\n'),),
+    "REP013": (("src/repro/metrics/bad_dead.py", "def _stranded():\n    return 1\n"),),
+    "REP014": (("src/repro/partitioning/registry.py", '_FACTORIES = {"XYZ": None}\n'),),
 }
 
 
@@ -41,10 +67,11 @@ def _repo_targets():
 
 
 def _seed_tree(root: Path) -> None:
-    for rel_path, source in SEEDED_VIOLATIONS.values():
-        target = root / rel_path
-        target.parent.mkdir(parents=True, exist_ok=True)
-        target.write_text(source)
+    for pairs in SEEDED_VIOLATIONS.values():
+        for rel_path, source in pairs:
+            target = root / rel_path
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(source)
 
 
 class TestRepoAtHead:
@@ -109,7 +136,7 @@ class TestSeededViolationTree:
         _seed_tree(tmp_path)
         baseline = tmp_path / "baseline.json"
         main(["check", str(tmp_path), "--baseline", str(baseline), "--write-baseline"])
-        (tmp_path / SEEDED_VIOLATIONS["REP008"][0]).write_text("rng = np.random.default_rng(seed)\n")
+        (tmp_path / SEEDED_VIOLATIONS["REP008"][0][0]).write_text("rng = np.random.default_rng(seed)\n")
         capsys.readouterr()
         code = main(
             ["check", str(tmp_path), "--baseline", str(baseline), "--format", "json"]
@@ -124,8 +151,8 @@ class TestCliSurface:
     def test_list_rules_prints_the_table(self, capsys):
         assert main(["check", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for index in range(1, 10):
-            assert f"REP00{index}" in out
+        for index in range(1, 15):
+            assert f"REP{index:03d}" in out
 
     def test_unknown_rule_id_is_a_usage_error(self, capsys):
         assert main(["check", "--rule", "REP999"]) == 2
